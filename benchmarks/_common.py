@@ -1,0 +1,37 @@
+"""Shared plumbing for the benchmark harnesses.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
+the corresponding experiment from :mod:`repro.experiments`, renders the
+paper-format output (with the paper's reference numbers alongside), prints
+it to the live terminal (bypassing pytest capture) and archives it under
+``results/``.
+
+Budgets honour ``REPRO_SCALE`` / ``REPRO_TRAIN_SIZE`` / ``REPRO_TEST_SIZE``
+via :mod:`repro.experiments.protocol`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print ``text`` to the real terminal and save it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+    else:  # pragma: no cover - direct invocation
+        print(f"\n{text}\n")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-long training runs; the default calibration
+    loop would repeat them dozens of times.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,6 @@
+"""Make the shared _common helpers importable from every bench module."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

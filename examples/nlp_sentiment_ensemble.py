@@ -1,0 +1,46 @@
+"""EDDE on the NLP task: Text-CNN sentiment classification.
+
+Reproduces the paper's NLP protocol in miniature: the knowledge transfer
+between base models copies the embedding and all convolution layers (the
+paper's stated NLP transfer rule) and re-initialises only the classifier
+head; EDDE gets *half* the epoch budget of the baseline and should still
+be competitive.
+
+    python examples/nlp_sentiment_ensemble.py
+"""
+
+from repro import EDDEConfig, EDDETrainer, ModelFactory
+from repro.baselines import SnapshotConfig, SnapshotEnsemble
+from repro.data import make_imdb_like
+from repro.models import TextCNN, textcnn_conv_beta
+
+
+def main() -> None:
+    split = make_imdb_like(rng=0, train_size=800, test_size=400)
+    print(f"synthetic IMDB: {len(split.train)} reviews, "
+          f"vocab {split.vocab_size}, max length {split.train.x.shape[1]}")
+
+    factory = ModelFactory(TextCNN, vocab_size=split.vocab_size,
+                           num_classes=2, embedding_dim=16,
+                           filters_per_width=8)
+
+    # β chosen so exactly the embedding + convolutions transfer (Sec. V-A).
+    beta = textcnn_conv_beta(factory.build(rng=0))
+    print(f"transfer fraction for embedding+convs: beta = {beta:.3f}")
+
+    config = EDDEConfig(num_models=3, gamma=0.1, beta=beta,
+                        first_epochs=6, later_epochs=3,
+                        lr=0.1, batch_size=32)
+    edde = EDDETrainer(factory, config).fit(split.train, split.test, rng=0)
+    print(f"\nEDDE: {edde.final_accuracy:.2%} in {edde.total_epochs} epochs")
+
+    # Snapshot Ensemble baseline at double the budget (the paper's setup).
+    snapshot = SnapshotEnsemble(factory, SnapshotConfig(
+        num_models=4, epochs_per_model=6, lr=0.1, batch_size=32))
+    baseline = snapshot.fit(split.train, split.test, rng=0)
+    print(f"Snapshot: {baseline.final_accuracy:.2%} in "
+          f"{baseline.total_epochs} epochs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Efficient Diversity-Driven Ensemble for Deep
+Neural Networks" (EDDE, ICDE 2020).
+
+Layers of the package, bottom-up:
+
+* :mod:`repro.tensor` — numpy autograd engine (the framework substrate).
+* :mod:`repro.nn` / :mod:`repro.optim` — layers, losses, SGD + schedules.
+* :mod:`repro.data` — datasets, loaders, synthetic CIFAR/IMDB/MR stand-ins.
+* :mod:`repro.models` — ResNet / DenseNet / TextCNN / MLP.
+* :mod:`repro.core` — the paper's contribution: diversity measures, the
+  diversity-driven loss, adaptive β knowledge transfer, the boosting
+  framework and the :class:`~repro.core.edde.EDDETrainer`.
+* :mod:`repro.baselines` — Single, Bagging, AdaBoost.M1/.NC, Snapshot, BANs.
+* :mod:`repro.analysis` — bias/variance, similarity heatmaps, curves, tables.
+* :mod:`repro.experiments` — per-table/figure experiment protocols.
+
+Quickstart::
+
+    from repro import EDDEConfig, EDDETrainer, ModelFactory
+    from repro.data import make_cifar10_like
+    from repro.models import ResNetCIFAR
+
+    split = make_cifar10_like(rng=0)
+    factory = ModelFactory(ResNetCIFAR, depth=8, num_classes=10, base_width=8)
+    config = EDDEConfig(num_models=4, gamma=0.1, beta=0.7,
+                        first_epochs=10, later_epochs=6)
+    result = EDDETrainer(factory, config).fit(split.train, split.test, rng=0)
+    print(result.final_accuracy)
+"""
+
+from repro.core import EDDEConfig, EDDETrainer, Ensemble, FitResult
+from repro.models import ModelFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EDDEConfig",
+    "EDDETrainer",
+    "Ensemble",
+    "FitResult",
+    "ModelFactory",
+    "__version__",
+]

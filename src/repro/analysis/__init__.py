@@ -1,0 +1,41 @@
+"""Analysis utilities behind the paper's figures and diversity tables."""
+
+from repro.analysis.bias_variance import (
+    BiasVariance,
+    main_prediction,
+    squared_decomposition,
+    zero_one_decomposition,
+)
+from repro.analysis.similarity import (
+    ensemble_div_h,
+    ensemble_similarity_matrix,
+    mean_offdiagonal_similarity,
+    render_heatmap,
+)
+from repro.analysis.curves import (
+    best_at_budget,
+    curve_table,
+    epochs_to_reach,
+    render_curves,
+    speedup_over,
+)
+from repro.analysis.reporting import format_table, paper_vs_measured, percent
+
+__all__ = [
+    "BiasVariance",
+    "zero_one_decomposition",
+    "squared_decomposition",
+    "main_prediction",
+    "ensemble_similarity_matrix",
+    "ensemble_div_h",
+    "render_heatmap",
+    "mean_offdiagonal_similarity",
+    "epochs_to_reach",
+    "speedup_over",
+    "best_at_budget",
+    "render_curves",
+    "curve_table",
+    "format_table",
+    "percent",
+    "paper_vs_measured",
+]

@@ -1,0 +1,84 @@
+"""Bias/variance decomposition of an ensemble's base models (paper Fig. 1).
+
+Figure 1 characterises each method by where its base models land on the
+bias/variance plane under an equal training budget: Snapshot = low bias but
+low variance, AdaBoost.NC = high variance but high bias, EDDE = low bias
+*and* high variance.
+
+Two standard decompositions are provided:
+
+* :func:`zero_one_decomposition` — Domingos-style 0/1-loss decomposition
+  treating the base models as the randomness source: the *main prediction*
+  is the per-sample plurality vote; bias is the main prediction's error
+  rate; variance is the members' mean disagreement with it.
+* :func:`squared_decomposition` — squared-loss decomposition on softmax
+  outputs against the one-hot target, which is what the Div measure's L2
+  geometry corresponds to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class BiasVariance:
+    """Summary point for one method on the Fig. 1 plane."""
+
+    method: str
+    bias: float
+    variance: float
+
+    def row(self) -> str:
+        return f"{self.method:28s} bias={self.bias:.4f} variance={self.variance:.4f}"
+
+
+def _member_predictions(member_probs: Sequence[np.ndarray]) -> np.ndarray:
+    return np.stack([probs.argmax(axis=1) for probs in member_probs])
+
+
+def main_prediction(member_probs: Sequence[np.ndarray]) -> np.ndarray:
+    """Per-sample plurality vote across base models."""
+    votes = _member_predictions(member_probs)
+    num_classes = member_probs[0].shape[1]
+    counts = np.apply_along_axis(
+        lambda column: np.bincount(column, minlength=num_classes), 0, votes
+    )
+    return counts.argmax(axis=0)
+
+
+def zero_one_decomposition(member_probs: Sequence[np.ndarray],
+                           labels: np.ndarray,
+                           method: str = "") -> BiasVariance:
+    """0/1-loss bias (main-prediction error) and variance (disagreement)."""
+    if len(member_probs) < 2:
+        raise ValueError("decomposition needs at least two base models")
+    labels = np.asarray(labels)
+    votes = _member_predictions(member_probs)
+    main = main_prediction(member_probs)
+    bias = float((main != labels).mean())
+    variance = float((votes != main[None, :]).mean())
+    return BiasVariance(method=method, bias=bias, variance=variance)
+
+
+def squared_decomposition(member_probs: Sequence[np.ndarray],
+                          labels: np.ndarray,
+                          method: str = "") -> BiasVariance:
+    """Squared-loss decomposition on softmax rows vs one-hot labels.
+
+    ``bias² = mean ||p̄(x) − y||²``, ``variance = mean ||p_t(x) − p̄(x)||²``
+    where ``p̄`` is the unweighted mean member output.
+    """
+    if len(member_probs) < 2:
+        raise ValueError("decomposition needs at least two base models")
+    labels = np.asarray(labels, dtype=np.int64)
+    stacked = np.stack(member_probs)                       # (T, N, k)
+    mean_probs = stacked.mean(axis=0)
+    one_hot = np.zeros_like(mean_probs)
+    one_hot[np.arange(len(labels)), labels] = 1.0
+    bias_sq = float(((mean_probs - one_hot) ** 2).sum(axis=1).mean())
+    variance = float(((stacked - mean_probs[None]) ** 2).sum(axis=2).mean())
+    return BiasVariance(method=method, bias=np.sqrt(bias_sq), variance=variance)

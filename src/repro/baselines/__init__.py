@@ -1,0 +1,38 @@
+"""The paper's baseline ensemble methods, behind one common interface."""
+
+from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
+from repro.baselines.single import SingleModel
+from repro.baselines.bagging import Bagging
+from repro.baselines.adaboost_m1 import AdaBoostM1
+from repro.baselines.adaboost_nc import AdaBoostNC, AdaBoostNCConfig
+from repro.baselines.snapshot import SnapshotConfig, SnapshotEnsemble
+from repro.baselines.bans import BANs, BANsConfig
+from repro.baselines.ncl import NCLConfig, NegativeCorrelationLearning
+
+METHOD_CLASSES = {
+    "single": SingleModel,
+    "bagging": Bagging,
+    "adaboost_m1": AdaBoostM1,
+    "adaboost_nc": AdaBoostNC,
+    "snapshot": SnapshotEnsemble,
+    "bans": BANs,
+    "ncl": NegativeCorrelationLearning,
+}
+
+__all__ = [
+    "BaselineConfig",
+    "EnsembleMethod",
+    "IncrementalEvaluator",
+    "SingleModel",
+    "Bagging",
+    "AdaBoostM1",
+    "AdaBoostNC",
+    "AdaBoostNCConfig",
+    "SnapshotEnsemble",
+    "SnapshotConfig",
+    "BANs",
+    "BANsConfig",
+    "NegativeCorrelationLearning",
+    "NCLConfig",
+    "METHOD_CLASSES",
+]

@@ -1,0 +1,115 @@
+"""Common scaffolding for the paper's baseline ensemble methods.
+
+All baselines share one interface: ``method.fit(train_set, test_set, rng)``
+returning a :class:`~repro.core.results.FitResult`, so the benchmark
+harnesses can sweep methods uniformly (Tables II/III, Fig. 7).
+
+:class:`IncrementalEvaluator` caches each member's softmax outputs on the
+test set so the ensemble-accuracy-after-every-member curve costs one model
+evaluation per member instead of re-running the whole ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.ensemble import average_probs
+from repro.core.results import CurvePoint, FitResult, MemberRecord
+from repro.core.trainer import TrainingConfig
+from repro.data.dataset import Dataset
+from repro.models.factory import ModelFactory
+from repro.nn import accuracy, predict_probs
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class BaselineConfig:
+    """Shared hyperparameters of the baseline methods.
+
+    ``num_models`` base models, each trained ``epochs_per_model`` epochs
+    under the paper's step LR schedule (Snapshot overrides the schedule).
+    """
+
+    num_models: int = 4
+    epochs_per_model: int = 10
+    lr: float = 0.1
+    batch_size: int = 64
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    schedule: str = "step"
+    grad_clip: float = 5.0
+    augment: Optional[Callable] = None
+    verbose: bool = False
+
+    def training_config(self, epochs: Optional[int] = None) -> TrainingConfig:
+        return TrainingConfig(
+            epochs=epochs or self.epochs_per_model,
+            lr=self.lr,
+            batch_size=self.batch_size,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            schedule=self.schedule,
+            grad_clip=self.grad_clip,
+            augment=self.augment,
+            verbose=self.verbose,
+        )
+
+    def total_epochs(self) -> int:
+        return self.num_models * self.epochs_per_model
+
+
+class IncrementalEvaluator:
+    """Caches member test-set outputs for cheap running ensemble accuracy."""
+
+    def __init__(self, test_set: Optional[Dataset]):
+        self.test_set = test_set
+        self.member_probs: List[np.ndarray] = []
+        self.alphas: List[float] = []
+
+    def add(self, model, alpha: float = 1.0) -> float:
+        """Register a member; returns its individual test accuracy (nan if
+        no test set was provided)."""
+        if self.test_set is None:
+            return float("nan")
+        probs = predict_probs(model, self.test_set.x)
+        self.member_probs.append(probs)
+        self.alphas.append(alpha)
+        return accuracy(probs, self.test_set.y)
+
+    def ensemble_accuracy(self) -> float:
+        if self.test_set is None or not self.member_probs:
+            return float("nan")
+        combined = average_probs(self.member_probs, self.alphas)
+        return accuracy(combined, self.test_set.y)
+
+
+class EnsembleMethod:
+    """Abstract base: subclasses implement :meth:`fit`."""
+
+    name = "abstract"
+
+    def __init__(self, factory: ModelFactory, config: BaselineConfig):
+        self.factory = factory
+        self.config = config
+
+    def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
+            rng: RngLike = None) -> FitResult:
+        raise NotImplementedError
+
+    def _record(self, result: FitResult, evaluator: IncrementalEvaluator,
+                index: int, alpha: float, epochs: int, cumulative: int,
+                train_accuracy: float, test_accuracy: float,
+                **extras) -> None:
+        """Append member record + curve point in one step."""
+        result.members.append(MemberRecord(
+            index=index, alpha=alpha, epochs=epochs,
+            train_accuracy=train_accuracy, test_accuracy=test_accuracy,
+            extras=extras,
+        ))
+        ensemble_accuracy = evaluator.ensemble_accuracy()
+        if not np.isnan(ensemble_accuracy):
+            result.curve.append(CurvePoint(cumulative, ensemble_accuracy,
+                                           len(result.members)))

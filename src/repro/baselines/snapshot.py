@@ -1,0 +1,81 @@
+"""Snapshot Ensemble baseline (Huang et al., ICLR 2017).
+
+One network is trained continuously under the cyclic cosine-annealing
+schedule; at the end of every cycle the weights are snapshotted and the
+snapshot joins the ensemble (simple softmax averaging, α = 1).  Because
+the next cycle restarts from the previous cycle's minimum, training is
+fast — but, as the paper under reproduction argues, the snapshots transfer
+*all* knowledge and end up in nearby minima (low diversity; Fig. 8 left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
+from repro.core.ensemble import Ensemble
+from repro.core.results import CurvePoint, FitResult, MemberRecord
+from repro.core.trainer import train_model
+from repro.data.dataset import Dataset
+from repro.utils.rng import RngLike, new_rng
+from repro.utils.run_log import RunLogger
+
+
+@dataclass
+class SnapshotConfig(BaselineConfig):
+    """``num_models`` cycles of ``epochs_per_model`` epochs each."""
+
+    def __post_init__(self) -> None:
+        self.schedule = "snapshot"
+
+
+class SnapshotEnsemble(EnsembleMethod):
+    name = "Snapshot"
+
+    def __init__(self, factory, config: Optional[BaselineConfig] = None):
+        config = config or SnapshotConfig()
+        config.schedule = "snapshot"
+        super().__init__(factory, config)
+
+    def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
+            rng: RngLike = None) -> FitResult:
+        rng = new_rng(rng)
+        cycle_length = self.config.epochs_per_model
+        total_epochs = self.config.total_epochs()
+        model = self.factory.build(rng=rng)
+        ensemble = Ensemble()
+        result = FitResult(method=self.name, ensemble=ensemble)
+        evaluator = IncrementalEvaluator(test_set)
+
+        training = self.config.training_config(epochs=total_epochs)
+        training.cycle_length = cycle_length
+
+        logger = RunLogger(verbose=training.verbose)
+
+        def on_epoch_end(trained_model, epoch):
+            if (epoch + 1) % cycle_length != 0:
+                return
+            # Snapshot: a fresh instance loaded with the current weights
+            # (including BatchNorm running statistics).
+            snapshot = self.factory.build(rng=rng)
+            snapshot.load_state_dict(trained_model.state_dict())
+            snapshot.eval()
+            index = len(ensemble)
+            test_accuracy = evaluator.add(snapshot, 1.0)
+            ensemble.add(snapshot, 1.0)
+            result.members.append(MemberRecord(
+                index=index, alpha=1.0, epochs=cycle_length,
+                train_accuracy=logger.last("train_accuracy"),
+                test_accuracy=test_accuracy,
+            ))
+            ensemble_accuracy = evaluator.ensemble_accuracy()
+            result.curve.append(CurvePoint(epoch + 1, ensemble_accuracy,
+                                           len(ensemble)))
+
+        train_model(model, train_set, training, rng=rng,
+                    on_epoch_end=on_epoch_end, logger=logger)
+
+        result.total_epochs = total_epochs
+        result.final_accuracy = evaluator.ensemble_accuracy()
+        return result

@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``
+    Fit one ensemble method on a named scenario and print its summary.
+``compare``
+    Fit several methods on one scenario and print the comparison table.
+``beta``
+    Run the adaptive β-selection procedure on a scenario's training set.
+``info``
+    List available scenarios, methods and models.
+
+Examples
+--------
+::
+
+    python -m repro.cli train --method edde --scenario c100-resnet --seed 0
+    python -m repro.cli compare --scenario c10-resnet --methods single,snapshot,edde
+    python -m repro.cli beta --scenario c100-resnet
+    python -m repro.cli info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, percent
+from repro.core import ensemble_diversity, save_ensemble
+from repro.experiments import ALL_METHODS, build_scenario, run_effectiveness, run_method
+from repro.models import available_models
+
+
+def _add_scenario_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", required=True,
+                        help="e.g. c10-resnet, c100-densenet, imdb-textcnn")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_train(args) -> int:
+    scenario = build_scenario(args.scenario, rng=args.seed)
+    result = run_method(args.method, scenario, rng=args.seed)
+    print(f"method:            {result.method}")
+    print(f"ensemble accuracy: {percent(result.final_accuracy)}")
+    print(f"average member:    {percent(result.average_member_accuracy())}")
+    print(f"total epochs:      {result.total_epochs}")
+    if len(result.ensemble) >= 2:
+        probs = result.ensemble.member_probs(scenario.split.test.x)
+        print(f"diversity (Eq. 7): {ensemble_diversity(probs):.4f}")
+    if args.save:
+        save_ensemble(result.ensemble, args.save)
+        print(f"saved ensemble to {args.save}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scenario = build_scenario(args.scenario, rng=args.seed)
+    methods = tuple(args.methods.split(","))
+    results = run_effectiveness(scenario, methods=methods, rng=args.seed)
+    rows = [[r.method, percent(r.final_accuracy),
+             percent(r.average_member_accuracy()), r.total_epochs]
+            for r in results.values()]
+    print(format_table(["Method", "Ensemble acc", "Avg member", "Epochs"],
+                       rows, title=f"Comparison on {args.scenario}"))
+    return 0
+
+
+def _cmd_beta(args) -> int:
+    from repro.core import select_beta
+
+    scenario = build_scenario(args.scenario, rng=args.seed)
+    selection = select_beta(scenario.factory, scenario.split.train,
+                            n_folds=args.folds, lr=scenario.lr,
+                            batch_size=scenario.batch_size,
+                            teacher_epochs=scenario.epochs_per_model,
+                            probe_epochs=args.probe_epochs, rng=args.seed)
+    rows = [[f"{p.beta:.2f}", percent(p.accuracy_seen_fold),
+             percent(p.accuracy_unseen_fold), f"{p.gap:+.4f}"]
+            for p in selection.probes]
+    print(format_table(["beta", "seen fold", "unseen fold", "gap"], rows,
+                       title="Adaptive beta search (Sec. IV-B)"))
+    print(f"selected beta = {selection.beta}")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    print("scenarios: c10-resnet, c10-densenet, c100-resnet, c100-densenet, "
+          "imdb-textcnn, mr-textcnn")
+    print(f"methods:   {', '.join(ALL_METHODS + ('ncl',))}")
+    print(f"models:    {', '.join(available_models())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EDDE reproduction command-line interface")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="fit one ensemble method")
+    _add_scenario_arg(train)
+    train.add_argument("--method", default="edde",
+                       choices=ALL_METHODS + ("ncl",))
+    train.add_argument("--save", default=None,
+                       help="path to save the fitted ensemble (.npz)")
+    train.set_defaults(func=_cmd_train)
+
+    compare = commands.add_parser("compare", help="compare several methods")
+    _add_scenario_arg(compare)
+    compare.add_argument("--methods", default="single,snapshot,edde")
+    compare.set_defaults(func=_cmd_compare)
+
+    beta = commands.add_parser("beta", help="adaptive beta selection")
+    _add_scenario_arg(beta)
+    beta.add_argument("--folds", type=int, default=6)
+    beta.add_argument("--probe-epochs", type=int, default=3)
+    beta.set_defaults(func=_cmd_beta)
+
+    info = commands.add_parser("info", help="list scenarios/methods/models")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

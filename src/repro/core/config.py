@@ -1,0 +1,90 @@
+"""Configuration for the EDDE trainer (Algorithm 1's inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class EDDEConfig:
+    """Inputs of Algorithm 1 plus the training protocol around it.
+
+    Attributes
+    ----------
+    num_models:
+        ``T`` — number of base models / boosting rounds.
+    gamma:
+        Strength of the diversity-driven loss (paper: 0.1 ResNet,
+        0.2 DenseNet; Table V sweeps it).
+    beta:
+        Fraction of parameters to transfer between consecutive base models
+        (paper: 0.7 ResNet, 0.5 DenseNet).  ``None`` triggers the adaptive
+        fold-based search of Sec. IV-B before round 2.
+    first_epochs / later_epochs:
+        Epoch budget for round 1 versus rounds 2..T.  The paper trains the
+        first model like a Snapshot cycle and shortens later rounds
+        (ResNet: 40 then 30; DenseNet: 50 then 25; TextCNN: 20 then 10).
+    lr / batch_size / momentum / weight_decay:
+        SGD protocol (Sec. V-A).
+    schedule:
+        LR schedule per round.  The paper trains EDDE's rounds "with the
+        same settings as Snapshot Ensemble", i.e. one cosine-annealed
+        cycle per round — hence the "cosine" default ("step" gives the
+        standard divide-by-10 schedule instead).
+    augment:
+        Optional feature-batch augmentation (the CIFAR crop+flip scheme).
+    beta_search:
+        Keyword overrides forwarded to :func:`repro.core.transfer.select_beta`
+        when ``beta`` is ``None``.
+    update_weights_from_initial:
+        Eq. 14 rescales from the initial uniform ``W₁`` (the paper's
+        design).  ``False`` compounds from ``W_{t-1}`` like classic
+        AdaBoost — a beyond-paper ablation knob.
+    correlate_target:
+        What the diversity term pushes away from: ``"ensemble"`` uses
+        ``H_{t-1}`` (the paper's Eq. 10); ``"previous"`` uses only the
+        last base model ``h_{t-1}`` — a beyond-paper ablation knob.
+    alpha_floor:
+        Lower clamp on every model weight α_t.  Eq. 15 implicitly assumes
+        base models with near-perfect *training* accuracy (true at the
+        paper's 200-400 epoch budgets); at scaled-down budgets the
+        exp-boosted misclassified mass can exceed the correct mass, making
+        α_t negative and effectively deleting the member — which the paper
+        never does.  The floor keeps every member in the average with at
+        least this weight (documented substitution, see DESIGN.md).
+    """
+
+    num_models: int = 4
+    gamma: float = 0.1
+    beta: Optional[float] = 0.7
+    first_epochs: int = 10
+    later_epochs: int = 6
+    lr: float = 0.1
+    batch_size: int = 64
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    schedule: str = "cosine"
+    grad_clip: float = 5.0
+    augment: Optional[Callable] = None
+    verbose: bool = False
+    beta_search: dict = field(default_factory=dict)
+    update_weights_from_initial: bool = True
+    correlate_target: str = "ensemble"
+    alpha_floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.correlate_target not in ("ensemble", "previous"):
+            raise ValueError("correlate_target must be 'ensemble' or 'previous'")
+        if self.num_models < 1:
+            raise ValueError("num_models must be at least 1")
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if self.beta is not None and not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if self.first_epochs < 1 or self.later_epochs < 1:
+            raise ValueError("epoch budgets must be at least 1")
+
+    def total_epochs(self) -> int:
+        """Total training budget across all rounds."""
+        return self.first_epochs + (self.num_models - 1) * self.later_epochs

@@ -1,0 +1,99 @@
+"""The weighted-average ensemble container (paper Eq. 16).
+
+``H_T(x) = Σ_t α_t h_t(x)`` over softmax outputs.  Because the paper also
+*uses* ``H_t(x)`` as a probability vector (inside Div/Sim, whose [0,1]
+bounds require ``||H||₁ = 1``), the weighted sum is normalised by ``Σ α_t``
+— i.e. an α-weighted average — which leaves the argmax of Eq. 16 unchanged
+and keeps every downstream formula well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import accuracy, predict_probs
+from repro.nn.module import Module
+
+
+class Ensemble:
+    """An α-weighted ensemble of base models.
+
+    Supports the operations Algorithm 1 needs: ``add`` a fitted base model
+    with its weight, compute soft targets ``H_t(x)``, and evaluate.
+    """
+
+    def __init__(self) -> None:
+        self.models: List[Module] = []
+        self.alphas: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def add(self, model: Module, alpha: float = 1.0) -> None:
+        """Add a fitted base model with ensemble weight ``alpha``."""
+        if alpha <= 0:
+            raise ValueError(
+                f"alpha must be positive, got {alpha}; a non-positive alpha "
+                "means the base model is worse than chance and should be discarded"
+            )
+        model.eval()
+        self.models.append(model)
+        self.alphas.append(float(alpha))
+
+    def member_probs(self, x: np.ndarray, batch_size: int = 256) -> List[np.ndarray]:
+        """Softmax outputs of each base model (the ``h_t(x)`` soft targets)."""
+        return [predict_probs(model, x, batch_size=batch_size) for model in self.models]
+
+    def predict_probs(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Eq. 16 (normalised): α-weighted average of member softmax rows."""
+        if not self.models:
+            raise RuntimeError("ensemble is empty")
+        alphas = np.asarray(self.alphas)
+        weights = alphas / alphas.sum()
+        combined = np.zeros(0)
+        for weight, probs in zip(weights, self.member_probs(x, batch_size)):
+            combined = weight * probs if combined.size == 0 else combined + weight * probs
+        return combined
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        return self.predict_probs(x, batch_size=batch_size).argmax(axis=1)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Ensemble top-1 accuracy."""
+        return accuracy(self.predict_probs(x, batch_size=batch_size), y)
+
+    def member_accuracies(self, x: np.ndarray, y: np.ndarray,
+                          batch_size: int = 256) -> List[float]:
+        """Individual accuracy of each base model (Table IV's 'average accuracy')."""
+        return [accuracy(probs, y) for probs in self.member_probs(x, batch_size)]
+
+    def snapshot_alphas(self) -> np.ndarray:
+        return np.asarray(self.alphas)
+
+
+def majority_vote(member_probs: Sequence[np.ndarray]) -> np.ndarray:
+    """Plurality vote over member hard predictions (the Bagging variant)."""
+    if not len(member_probs):
+        raise ValueError("no member predictions")
+    votes = np.stack([probs.argmax(axis=1) for probs in member_probs])
+    num_classes = member_probs[0].shape[1]
+    counts = np.apply_along_axis(
+        lambda column: np.bincount(column, minlength=num_classes), 0, votes
+    )
+    return counts.argmax(axis=0)
+
+
+def average_probs(member_probs: Sequence[np.ndarray],
+                  alphas: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Plain or weighted softmax averaging over precomputed member outputs."""
+    if not len(member_probs):
+        raise ValueError("no member predictions")
+    if alphas is None:
+        return np.mean(member_probs, axis=0)
+    alphas = np.asarray(alphas, dtype=np.float64)
+    if len(alphas) != len(member_probs):
+        raise ValueError("one alpha per member required")
+    weights = alphas / alphas.sum()
+    return np.tensordot(weights, np.stack(member_probs), axes=1)

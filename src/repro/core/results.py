@@ -1,0 +1,72 @@
+"""Result containers shared by EDDE and every baseline.
+
+A :class:`FitResult` carries the fitted ensemble plus the bookkeeping the
+paper's evaluation needs: the accuracy-vs-cumulative-epochs curve (Fig. 7),
+per-model records (Table IV's average accuracy), and total epochs spent
+(the x-axis of every end-to-end comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ensemble import Ensemble
+
+
+@dataclass
+class CurvePoint:
+    """One checkpoint on the ensemble-accuracy-vs-epochs curve."""
+
+    cumulative_epochs: int
+    ensemble_accuracy: float
+    num_models: int
+
+
+@dataclass
+class MemberRecord:
+    """Bookkeeping for one fitted base model."""
+
+    index: int
+    alpha: float
+    epochs: int
+    train_accuracy: float
+    test_accuracy: float
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class FitResult:
+    """Everything a benchmark needs from one ensemble-method run."""
+
+    method: str
+    ensemble: Ensemble
+    curve: List[CurvePoint] = field(default_factory=list)
+    members: List[MemberRecord] = field(default_factory=list)
+    total_epochs: int = 0
+    final_accuracy: float = float("nan")
+    metadata: dict = field(default_factory=dict)
+
+    def average_member_accuracy(self) -> float:
+        """Table IV's 'average accuracy' column."""
+        if not self.members:
+            return float("nan")
+        return float(np.mean([m.test_accuracy for m in self.members]))
+
+    def increased_accuracy(self) -> float:
+        """Table IV's 'increased accuracy': ensemble minus member average."""
+        return self.final_accuracy - self.average_member_accuracy()
+
+    def curve_arrays(self):
+        """(epochs, accuracy) arrays for plotting Fig. 7."""
+        epochs = np.array([p.cumulative_epochs for p in self.curve])
+        acc = np.array([p.ensemble_accuracy for p in self.curve])
+        return epochs, acc
+
+    def accuracy_at_budget(self, epochs: int) -> Optional[float]:
+        """Best recorded ensemble accuracy within an epoch budget."""
+        within = [p.ensemble_accuracy for p in self.curve
+                  if p.cumulative_epochs <= epochs]
+        return max(within) if within else None

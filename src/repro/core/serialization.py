@@ -1,0 +1,61 @@
+"""Persisting fitted ensembles to disk.
+
+An ensemble is stored as a single ``.npz`` archive holding every member's
+``state_dict`` (parameters *and* BatchNorm running statistics), the α
+weights, and a tag identifying the architecture.  Loading rebuilds the
+members from a :class:`~repro.models.factory.ModelFactory`, so the
+architecture hyperparameters live in code, not in the archive — the same
+contract as the rest of the library (weights are data, topology is code).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.ensemble import Ensemble
+from repro.models.factory import ModelFactory
+
+_FORMAT_VERSION = 1
+
+
+def save_ensemble(ensemble: Ensemble, path: Union[str, pathlib.Path]) -> None:
+    """Serialise ``ensemble`` to ``path`` (a ``.npz`` archive)."""
+    if not len(ensemble):
+        raise ValueError("refusing to save an empty ensemble")
+    payload = {
+        "__format_version__": np.array(_FORMAT_VERSION),
+        "__num_models__": np.array(len(ensemble)),
+        "__alphas__": np.asarray(ensemble.alphas),
+    }
+    for index, model in enumerate(ensemble.models):
+        for name, value in model.state_dict().items():
+            payload[f"model{index}/{name}"] = value
+    np.savez(path, **payload)
+
+
+def load_ensemble(path: Union[str, pathlib.Path],
+                  factory: ModelFactory) -> Ensemble:
+    """Rebuild an ensemble saved by :func:`save_ensemble`.
+
+    ``factory`` must construct the same architecture the ensemble was
+    trained with; a parameter-shape mismatch raises ``ValueError``.
+    """
+    with np.load(path) as archive:
+        version = int(archive["__format_version__"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported ensemble format version {version}")
+        count = int(archive["__num_models__"])
+        alphas = archive["__alphas__"]
+        ensemble = Ensemble()
+        for index in range(count):
+            prefix = f"model{index}/"
+            state = {key[len(prefix):]: archive[key]
+                     for key in archive.files if key.startswith(prefix)}
+            model = factory.build(rng=0)
+            model.load_state_dict(state)
+            model.eval()
+            ensemble.add(model, float(alphas[index]))
+    return ensemble

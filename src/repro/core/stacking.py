@@ -1,0 +1,103 @@
+"""Stacking combiner — the paper's Sec. II-A third ensemble family.
+
+The paper's prediction rule (Eq. 16) is α-weighted averaging.  Stacking
+(Wolpert/Breiman; "deep super learner" in the paper's related work)
+instead *learns* the combination: a softmax-regression meta-learner is fit
+on the concatenated member probabilities.  Provided as an extension so the
+averaging-vs-stacking comparison the related work discusses is runnable.
+
+The meta-learner is trained on held-out predictions if a validation split
+is supplied, else on the training set (the classic overfitting caveat
+applies and is documented in the docstring of :meth:`StackedEnsemble.fit`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ensemble import Ensemble
+from repro.nn import accuracy
+from repro.utils.rng import RngLike, new_rng
+
+
+class SoftmaxRegression:
+    """Multinomial logistic regression trained by batch gradient descent.
+
+    Small and dependency-free: the stacking meta-learner needs only a
+    linear map over ``T·k`` member-probability features.
+    """
+
+    def __init__(self, input_dim: int, num_classes: int, rng: RngLike = None):
+        rng = new_rng(rng)
+        self.weights = rng.normal(0.0, 0.01, size=(input_dim, num_classes))
+        self.bias = np.zeros(num_classes)
+
+    def _logits(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weights + self.bias
+
+    def predict_probs(self, x: np.ndarray) -> np.ndarray:
+        logits = self._logits(x)
+        logits -= logits.max(axis=1, keepdims=True)
+        exps = np.exp(logits)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 200,
+            lr: float = 0.5, weight_decay: float = 1e-4) -> None:
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        one_hot = np.zeros((n, self.weights.shape[1]))
+        one_hot[np.arange(n), y] = 1.0
+        for _ in range(epochs):
+            probs = self.predict_probs(x)
+            grad_logits = (probs - one_hot) / n
+            grad_w = x.T @ grad_logits + weight_decay * self.weights
+            grad_b = grad_logits.sum(axis=0)
+            self.weights -= lr * grad_w
+            self.bias -= lr * grad_b
+
+
+class StackedEnsemble:
+    """A fitted ensemble re-combined by a learned meta-learner.
+
+    Example
+    -------
+    >>> # given a fitted `Ensemble` and its training data
+    >>> # stacked = StackedEnsemble(ensemble).fit(train.x, train.y)
+    >>> # stacked.predict_probs(test.x)
+    """
+
+    def __init__(self, ensemble: Ensemble, rng: RngLike = None):
+        if len(ensemble) < 1:
+            raise ValueError("stacking needs at least one fitted member")
+        self.ensemble = ensemble
+        self._rng = new_rng(rng)
+        self.meta: Optional[SoftmaxRegression] = None
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        member_probs = self.ensemble.member_probs(x)
+        return np.concatenate(member_probs, axis=1)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 200,
+            lr: float = 0.5) -> "StackedEnsemble":
+        """Fit the meta-learner on ``(x, y)``.
+
+        For an honest generalisation estimate, pass *held-out* data the
+        base models did not train on; fitting on the training set biases
+        the meta-weights toward members that memorised it.
+        """
+        features = self._features(x)
+        num_classes = features.shape[1] // len(self.ensemble)
+        self.meta = SoftmaxRegression(features.shape[1], num_classes,
+                                      rng=self._rng)
+        self.meta.fit(features, y, epochs=epochs, lr=lr)
+        return self
+
+    def predict_probs(self, x: np.ndarray) -> np.ndarray:
+        if self.meta is None:
+            raise RuntimeError("call fit() before predicting")
+        return self.meta.predict_probs(self._features(x))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        return accuracy(self.predict_probs(x), y)

@@ -1,0 +1,42 @@
+"""Data augmentation: the paper's "widely used" CIFAR scheme.
+
+He et al. (2016): pad 4 pixels on each side, random crop back to the
+original size, random horizontal flip.  The pad amount scales with image
+size so the synthetic 12x12 images receive a proportional perturbation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop(images: np.ndarray, padding: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Pad each NCHW image by ``padding`` and crop back at a random offset."""
+    if padding <= 0:
+        return images
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy:oy + h, ox:ox + w]
+    return out
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator,
+                probability: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image independently with given probability."""
+    flips = rng.random(len(images)) < probability
+    out = images.copy()
+    out[flips] = out[flips][:, :, :, ::-1]
+    return out
+
+
+def cifar_augment(padding: int = 2):
+    """Return the standard crop+flip augmentation closure for DataLoader."""
+    def augment(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return random_flip(random_crop(images, padding, rng), rng)
+    return augment

@@ -1,0 +1,85 @@
+"""Dataset containers.
+
+A :class:`Dataset` is a pair of aligned arrays (features, integer labels)
+plus metadata.  Boosting methods carry a parallel per-sample weight vector;
+keeping weights *outside* the dataset (in the trainers) means the same
+dataset object is shared untouched across all ensemble rounds, matching the
+paper's "use all the training data in each iteration" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """An in-memory supervised dataset.
+
+    Attributes
+    ----------
+    x:
+        Features — float NCHW images or integer token-id matrices.
+    y:
+        Integer class labels in ``[0, num_classes)``.
+    num_classes:
+        Number of distinct classes (k in the paper's notation).
+    name:
+        Human-readable tag used in benchmark output.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"feature/label length mismatch: {len(self.x)} vs {len(self.y)}"
+            )
+        if self.num_classes <= 1:
+            raise ValueError("num_classes must be at least 2")
+        if len(self.y) and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (copies views)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            x=self.x[indices],
+            y=self.y[indices],
+            num_classes=self.num_classes,
+            name=name or f"{self.name}[subset:{len(indices)}]",
+        )
+
+    def one_hot(self) -> np.ndarray:
+        """One-hot encoding of the labels (the paper's bold ``y_i``)."""
+        encoded = np.zeros((len(self), self.num_classes))
+        encoded[np.arange(len(self)), self.y] = 1.0
+        return encoded
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.y, minlength=self.num_classes)
+
+
+@dataclass
+class TrainTestSplit:
+    """A train/test pair produced by the synthetic generators."""
+
+    train: Dataset
+    test: Dataset
+    vocab_size: Optional[int] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_classes(self) -> int:
+        return self.train.num_classes

@@ -1,0 +1,98 @@
+"""Mini-batch iteration with optional shuffling, augmentation and weights.
+
+The loader yields ``(x_batch, y_batch, index_batch)`` so trainers can slice
+the boosting weight vector ``W_t`` by the original sample indices — the
+diversity-driven loss (paper Eq. 10) multiplies each sample's loss by its
+current weight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RngLike, new_rng
+
+Batch = Tuple[np.ndarray, np.ndarray, np.ndarray]
+Augment = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Samples per batch (the paper uses 50/64/128 depending on dataset).
+    shuffle:
+        Reshuffle sample order every epoch.
+    augment:
+        Optional callable applied to each feature batch (e.g. the CIFAR
+        crop+flip scheme).  Receives the loader's RNG.
+    rng:
+        Seed or generator for shuffling and augmentation.
+    drop_last:
+        Drop the final ragged batch (BatchNorm dislikes batch size 1).
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 64,
+                 shuffle: bool = True, augment: Optional[Augment] = None,
+                 rng: RngLike = None, drop_last: bool = False):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self.drop_last = drop_last
+        self._rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        full, rem = divmod(n, self.batch_size)
+        return full if (self.drop_last or rem == 0) else full + 1
+
+    def __iter__(self) -> Iterator[Batch]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                return
+            x = self.dataset.x[indices]
+            if self.augment is not None:
+                x = self.augment(x, self._rng)
+            yield x, self.dataset.y[indices], indices
+
+
+def bootstrap_sample(dataset: Dataset, rng: RngLike = None,
+                     size: Optional[int] = None) -> Dataset:
+    """Sample with replacement — Bagging's resampling step."""
+    rng = new_rng(rng)
+    size = size or len(dataset)
+    indices = rng.integers(0, len(dataset), size=size)
+    return dataset.subset(indices, name=f"{dataset.name}[bootstrap]")
+
+
+def weighted_sample(dataset: Dataset, weights: np.ndarray,
+                    rng: RngLike = None, size: Optional[int] = None) -> Dataset:
+    """Sample with replacement proportionally to ``weights``.
+
+    This is how AdaBoost.M1/.NC realise their distribution ``D_t`` over a
+    deep-learning training set (resampling rather than weighting, following
+    the common practice the paper compares against).
+    """
+    rng = new_rng(rng)
+    size = size or len(dataset)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(dataset),):
+        raise ValueError("weights must align with the dataset")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    probabilities = weights / weights.sum()
+    indices = rng.choice(len(dataset), size=size, replace=True, p=probabilities)
+    return dataset.subset(indices, name=f"{dataset.name}[weighted]")

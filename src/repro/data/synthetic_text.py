@@ -1,0 +1,130 @@
+"""Synthetic sentiment corpora standing in for IMDB and MR.
+
+The paper's NLP experiments run Text-CNN on two binary sentiment datasets.
+Offline, we generate token sequences from a small stochastic grammar that
+reproduces the statistical structure a Text-CNN exploits:
+
+* a vocabulary with Zipfian frequencies, of which a subset of tokens carry
+  positive or negative polarity;
+* sentences mix polar tokens of the true class, neutral filler, a few
+  polar tokens of the *opposite* class (ambiguity), and negation tokens
+  that flip the polarity of the following token — so filter widths > 1
+  genuinely matter;
+* preprocessing mirrors the paper: truncate/pad to ``max_length`` and keep
+  only the ``max_features`` most frequent tokens (rest map to OOV id 1;
+  pad id is 0).
+
+``make_imdb_like`` uses the paper's IMDB settings (max length 120,
+max features 5000); ``make_mr_like`` uses shorter sentences, like MR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset, TrainTestSplit
+from repro.utils.rng import RngLike, new_rng
+
+PAD_ID = 0
+OOV_ID = 1
+_RESERVED = 2  # pad + oov
+
+
+@dataclass
+class TextConfig:
+    """Generation parameters for a synthetic sentiment corpus."""
+
+    vocab_size: int = 5000
+    max_length: int = 120
+    train_size: int = 2000
+    test_size: int = 1000
+    polar_vocab: int = 60           # tokens with sentiment per polarity
+    negation_vocab: int = 8         # tokens that flip the next token's polarity
+    polar_rate: float = 0.25        # fraction of slots carrying true-class polarity
+    opposite_rate: float = 0.05     # fraction carrying opposite polarity (ambiguity)
+    negation_rate: float = 0.04
+    min_length: int = 20
+    name: str = "synthetic-text"
+
+
+def _zipf_token_ids(count: int, vocab: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` neutral token ids with a Zipf-like distribution."""
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    probabilities = 1.0 / ranks
+    probabilities /= probabilities.sum()
+    return rng.choice(vocab, size=count, p=probabilities)
+
+
+def _generate_corpus(config: TextConfig, size: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    vocab = config.vocab_size
+    # Token-id layout: [0 pad][1 oov][pos polar][neg polar][negation][neutral...]
+    pos_start = _RESERVED
+    neg_start = pos_start + config.polar_vocab
+    negation_start = neg_start + config.polar_vocab
+    neutral_start = negation_start + config.negation_vocab
+    neutral_count = vocab - neutral_start
+    if neutral_count <= 0:
+        raise ValueError("vocab_size too small for the polar/negation token layout")
+
+    labels = np.arange(size) % 2
+    rng.shuffle(labels)
+    x = np.full((size, config.max_length), PAD_ID, dtype=np.int64)
+
+    for i, label in enumerate(labels):
+        length = rng.integers(config.min_length, config.max_length + 1)
+        same_start = pos_start if label == 1 else neg_start
+        opposite_start = neg_start if label == 1 else pos_start
+
+        tokens = neutral_start + _zipf_token_ids(length, neutral_count, rng)
+        roll = rng.random(length)
+        polar_mask = roll < config.polar_rate
+        opposite_mask = (roll >= config.polar_rate) & (
+            roll < config.polar_rate + config.opposite_rate)
+        tokens[polar_mask] = same_start + rng.integers(
+            0, config.polar_vocab, size=polar_mask.sum())
+        tokens[opposite_mask] = opposite_start + rng.integers(
+            0, config.polar_vocab, size=opposite_mask.sum())
+
+        # Negation: place a negation token before an *opposite*-polarity token,
+        # so "not bad" reads positive — bigram structure for width-2 filters.
+        negations = rng.random(length - 1) < config.negation_rate
+        for position in np.flatnonzero(negations):
+            tokens[position] = negation_start + rng.integers(0, config.negation_vocab)
+            tokens[position + 1] = opposite_start + rng.integers(0, config.polar_vocab)
+
+        x[i, :length] = tokens
+    return x, labels
+
+
+def make_text_dataset(config: TextConfig, rng: RngLike = None) -> TrainTestSplit:
+    """Generate a binary-sentiment train/test split."""
+    rng = new_rng(rng)
+    x_train, y_train = _generate_corpus(config, config.train_size, rng)
+    x_test, y_test = _generate_corpus(config, config.test_size, rng)
+    return TrainTestSplit(
+        train=Dataset(x_train, y_train, 2, name=f"{config.name}-train"),
+        test=Dataset(x_test, y_test, 2, name=f"{config.name}-test"),
+        vocab_size=config.vocab_size,
+        metadata={"config": config},
+    )
+
+
+def make_imdb_like(rng: RngLike = None, train_size: int = 2000,
+                   test_size: int = 1000) -> TrainTestSplit:
+    """Synthetic IMDB: the paper's preprocessing (max len 120, 5000 features)."""
+    config = TextConfig(vocab_size=5000, max_length=120, train_size=train_size,
+                        test_size=test_size, name="synthetic-IMDB")
+    return make_text_dataset(config, rng)
+
+
+def make_mr_like(rng: RngLike = None, train_size: int = 2000,
+                 test_size: int = 1000) -> TrainTestSplit:
+    """Synthetic MR: short single-sentence reviews, noisier than IMDB."""
+    config = TextConfig(vocab_size=3000, max_length=40, min_length=8,
+                        polar_rate=0.22, opposite_rate=0.05,
+                        train_size=train_size, test_size=test_size,
+                        name="synthetic-MR")
+    return make_text_dataset(config, rng)

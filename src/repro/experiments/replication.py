@@ -1,0 +1,78 @@
+"""Multi-seed replication of experiments.
+
+Every accuracy in the paper's tables is a single training run; at the
+scaled-down budgets of this reproduction, single-seed differences of
+±1-2 points are within noise (EXPERIMENTS.md).  These helpers repeat any
+method over several seeds and aggregate mean ± standard deviation, so
+claims like "EDDE beats Snapshot" can be checked with error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.results import FitResult
+from repro.experiments.protocol import Scenario
+from repro.experiments.runner import run_method
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate of one method across seeds."""
+
+    method: str
+    accuracies: List[float] = field(default_factory=list)
+    member_averages: List[float] = field(default_factory=list)
+    results: List[FitResult] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def stderr(self) -> float:
+        return self.std / np.sqrt(max(1, len(self.accuracies)))
+
+    def summary(self) -> str:
+        return (f"{self.method}: {self.mean:.4f} ± {self.std:.4f} "
+                f"(n={len(self.accuracies)})")
+
+
+def run_replicated(method: str, scenario: Scenario,
+                   seeds: Sequence[int] = (0, 1, 2),
+                   **overrides) -> ReplicatedResult:
+    """Fit ``method`` once per seed and aggregate final accuracies."""
+    replicated = ReplicatedResult(method=method)
+    for seed in seeds:
+        result = run_method(method, scenario, rng=seed, **overrides)
+        replicated.results.append(result)
+        replicated.accuracies.append(result.final_accuracy)
+        replicated.member_averages.append(result.average_member_accuracy())
+        replicated.method = result.method
+    return replicated
+
+
+def compare_replicated(methods: Sequence[str], scenario: Scenario,
+                       seeds: Sequence[int] = (0, 1, 2)
+                       ) -> Dict[str, ReplicatedResult]:
+    """Replicate several methods on one scenario (shared seed list)."""
+    return {method: run_replicated(method, scenario, seeds=seeds)
+            for method in methods}
+
+
+def significantly_better(a: ReplicatedResult, b: ReplicatedResult,
+                         z: float = 1.0) -> bool:
+    """Whether ``a``'s mean exceeds ``b``'s by ``z`` combined stderrs.
+
+    A coarse two-sample z-style screen, not a formal test — enough to
+    separate 'real ordering' from single-seed noise in bench summaries.
+    """
+    spread = np.hypot(a.stderr, b.stderr)
+    return bool(a.mean - b.mean > z * spread)

@@ -1,0 +1,44 @@
+"""Beyond-paper EDDE variants used by the extended ablation bench.
+
+DESIGN.md Sec. 5 flags two design choices of Algorithm 1 worth ablating:
+
+* Eq. 14 restarts the weight update from the *initial* uniform weights
+  ``W₁`` every round.  :func:`run_edde_cumulative_weights` compounds from
+  ``W_{t-1}`` instead, like classic AdaBoost.
+* Eq. 10 negatively correlates against the *ensemble* soft target
+  ``H_{t-1}``.  :func:`run_edde_correlate_previous_model` correlates
+  against only the previous base model ``h_{t-1}``.
+"""
+
+from __future__ import annotations
+
+from repro.core import EDDETrainer
+from repro.core.results import FitResult
+from repro.experiments.protocol import Scenario
+from repro.utils.rng import RngLike
+
+
+def run_edde_cumulative_weights(scenario: Scenario, rng: RngLike = 0,
+                                **overrides) -> FitResult:
+    """EDDE with AdaBoost-style compounding sample weights."""
+    from repro.experiments.runner import make_edde_config
+
+    config = make_edde_config(scenario, **overrides)
+    config.update_weights_from_initial = False
+    result = EDDETrainer(scenario.factory, config).fit(
+        scenario.split.train, scenario.split.test, rng=rng)
+    result.method = "EDDE (weights from W_{t-1})"
+    return result
+
+
+def run_edde_correlate_previous_model(scenario: Scenario, rng: RngLike = 0,
+                                      **overrides) -> FitResult:
+    """EDDE whose diversity term pushes away from h_{t-1} instead of H_{t-1}."""
+    from repro.experiments.runner import make_edde_config
+
+    config = make_edde_config(scenario, **overrides)
+    config.correlate_target = "previous"
+    result = EDDETrainer(scenario.factory, config).fit(
+        scenario.split.train, scenario.split.test, rng=rng)
+    result.method = "EDDE (correlate h_{t-1} only)"
+    return result

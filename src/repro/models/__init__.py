@@ -1,0 +1,33 @@
+"""Model zoo: the paper's three base networks plus a fast MLP for tests."""
+
+from repro.models.mlp import MLP
+from repro.models.resnet import BasicBlock, ResNetCIFAR
+from repro.models.densenet import DenseBlock, DenseLayer, DenseNetCIFAR, Transition
+from repro.models.textcnn import TextCNN, textcnn_conv_beta
+from repro.models.factory import (
+    ModelFactory,
+    available_models,
+    get_model_builder,
+    register_model,
+)
+
+register_model("mlp", MLP)
+register_model("resnet", ResNetCIFAR)
+register_model("densenet", DenseNetCIFAR)
+register_model("textcnn", TextCNN)
+
+__all__ = [
+    "MLP",
+    "ResNetCIFAR",
+    "BasicBlock",
+    "DenseNetCIFAR",
+    "DenseBlock",
+    "DenseLayer",
+    "Transition",
+    "TextCNN",
+    "textcnn_conv_beta",
+    "ModelFactory",
+    "register_model",
+    "get_model_builder",
+    "available_models",
+]

@@ -1,0 +1,127 @@
+"""CIFAR-style DenseNet (Huang et al., 2017).
+
+Same family as the paper's DenseNet-40 (growth rate 12): a conv stem, three
+dense blocks joined by 1x1-conv + 2x2-average-pool transitions, then BN,
+global average pooling and a linear head.  Depth follows ``3L + 4`` for
+non-bottleneck blocks of ``L`` layers each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor.ops import concatenate
+from repro.utils.rng import RngLike, new_rng
+
+
+class DenseLayer(nn.Module):
+    """BN -> ReLU -> 3x3 conv producing ``growth`` new channels."""
+
+    def __init__(self, in_channels: int, growth: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.relu = nn.ReLU()
+        self.conv = nn.Conv2d(in_channels, growth, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        new_features = self.conv(self.relu(self.bn(x)))
+        return concatenate([x, new_features], axis=1)
+
+
+class DenseBlock(nn.Module):
+    """``layers`` stacked dense layers with cumulative concatenation."""
+
+    def __init__(self, in_channels: int, layers: int, growth: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.out_channels = in_channels + layers * growth
+        channels = in_channels
+        self._layers = []
+        for index in range(layers):
+            layer = DenseLayer(channels, growth, rng)
+            self.add_module(f"layer{index}", layer)
+            self._layers.append(layer)
+            channels += growth
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class Transition(nn.Module):
+    """BN -> ReLU -> 1x1 conv (channel compression) -> 2x2 average pool."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.relu = nn.ReLU()
+        self.conv = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.pool = nn.AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.relu(self.bn(x))))
+
+
+class DenseNetCIFAR(nn.Module):
+    """DenseNet-(3L+4) for small colour images.
+
+    Parameters
+    ----------
+    depth:
+        Total depth; must satisfy ``depth = 3L + 4``.  The paper uses 40.
+    growth:
+        Growth rate k (paper: 12; benchmark default: 6).
+    num_classes / in_channels / rng:
+        As for :class:`~repro.models.resnet.ResNetCIFAR`.
+    compression:
+        Channel compression factor at transitions (1.0 = none, as in the
+        original non-BC DenseNet the paper uses).
+    """
+
+    def __init__(self, depth: int = 22, num_classes: int = 10, growth: int = 6,
+                 in_channels: int = 3, compression: float = 1.0,
+                 rng: RngLike = None):
+        super().__init__()
+        if (depth - 4) % 3 != 0:
+            raise ValueError(f"DenseNet depth must be 3L+4, got {depth}")
+        layers_per_block = (depth - 4) // 3
+        rng = new_rng(rng)
+        self.depth = depth
+        self.num_classes = num_classes
+
+        channels = 2 * growth
+        self.stem = nn.Conv2d(in_channels, channels, 3, padding=1, bias=False, rng=rng)
+
+        self.block1 = DenseBlock(channels, layers_per_block, growth, rng)
+        channels = self.block1.out_channels
+        compressed = max(1, int(channels * compression))
+        self.trans1 = Transition(channels, compressed, rng)
+        channels = compressed
+
+        self.block2 = DenseBlock(channels, layers_per_block, growth, rng)
+        channels = self.block2.out_channels
+        compressed = max(1, int(channels * compression))
+        self.trans2 = Transition(channels, compressed, rng)
+        channels = compressed
+
+        self.block3 = DenseBlock(channels, layers_per_block, growth, rng)
+        channels = self.block3.out_channels
+
+        self.final_bn = nn.BatchNorm2d(channels)
+        self.final_relu = nn.ReLU()
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        out = self.stem(x)
+        out = self.trans1(self.block1(out))
+        out = self.trans2(self.block2(out))
+        out = self.block3(out)
+        out = self.final_relu(self.final_bn(out))
+        return self.head(self.pool(out))

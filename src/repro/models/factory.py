@@ -1,0 +1,69 @@
+"""Model factories and a named registry.
+
+Every ensemble method needs to construct fresh base models repeatedly with
+independent initial weights.  A :class:`ModelFactory` captures the
+architecture hyperparameters once; each :meth:`ModelFactory.build` call
+draws a new model from a supplied RNG, so "randomly initialise each base
+model" (BANs, Bagging, AdaBoost) and "hatch from the previous model"
+(Snapshot, EDDE) share one construction path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, new_rng
+
+Builder = Callable[..., Module]
+
+_REGISTRY: Dict[str, Builder] = {}
+
+
+def register_model(name: str, builder: Builder) -> None:
+    """Register a model builder under ``name`` (used by CLI-style configs)."""
+    if name in _REGISTRY:
+        raise ValueError(f"model '{name}' already registered")
+    _REGISTRY[name] = builder
+
+
+def get_model_builder(name: str) -> Builder:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model '{name}'; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_models():
+    return sorted(_REGISTRY)
+
+
+class ModelFactory:
+    """Reusable constructor for one architecture configuration.
+
+    Example
+    -------
+    >>> from repro.models import ResNetCIFAR
+    >>> factory = ModelFactory(ResNetCIFAR, depth=14, num_classes=10)
+    >>> model = factory.build(rng=0)
+    >>> model.depth
+    14
+    """
+
+    def __init__(self, builder: Builder, **kwargs):
+        self.builder = builder
+        self.kwargs = dict(kwargs)
+
+    def build(self, rng: RngLike = None) -> Module:
+        """Construct a fresh model; ``rng`` controls the weight draw."""
+        return self.builder(rng=new_rng(rng), **self.kwargs)
+
+    @classmethod
+    def from_name(cls, name: str, **kwargs) -> "ModelFactory":
+        return cls(get_model_builder(name), **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"{k}={v}" for k, v in self.kwargs.items())
+        return f"ModelFactory({getattr(self.builder, '__name__', self.builder)}, {args})"

@@ -1,0 +1,42 @@
+"""A small multi-layer perceptron.
+
+Not in the paper — used by the test-suite and quickstart example because it
+trains in milliseconds, while exercising exactly the same Module/optimizer/
+ensemble plumbing as the conv nets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils.rng import RngLike, new_rng
+
+
+class MLP(nn.Module):
+    """``input -> [hidden ReLU]* -> logits`` over flattened features."""
+
+    def __init__(self, input_dim: int, num_classes: int,
+                 hidden: Sequence[int] = (64, 64), rng: RngLike = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        layers = []
+        previous = input_dim
+        for width in hidden:
+            layers.append(nn.Linear(previous, width, rng=rng))
+            layers.append(nn.ReLU())
+            previous = width
+        layers.append(nn.Linear(previous, num_classes, rng=rng))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)

@@ -1,0 +1,103 @@
+"""CIFAR-style residual networks (He et al., 2016).
+
+Same topology family as the paper's ResNet-32: a 3x3 stem, three stages of
+basic blocks at widths (w, 2w, 4w) with stride-2 transitions, global average
+pooling and a linear classifier.  Depth follows the 6n+2 rule; the paper
+uses depth 32 (n=5, w=16) — the benchmark default is a narrower, shallower
+member of the same family so CPU runs finish quickly.  Construction order
+runs stem -> stage1 -> stage2 -> stage3 -> head, which is the ordering
+β-transfer cuts along.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils.rng import RngLike, new_rng
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with identity (or projected) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1,
+                               bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride,
+                          bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        residual = x if self.shortcut is None else self.shortcut(x)
+        return (out + residual).relu()
+
+
+class ResNetCIFAR(nn.Module):
+    """ResNet-(6n+2) for small colour images.
+
+    Parameters
+    ----------
+    depth:
+        Total depth; must satisfy ``depth = 6n + 2``.  The paper uses 32.
+    num_classes:
+        Output classes.
+    base_width:
+        Channels of the first stage (paper: 16; benchmark default: 8).
+    in_channels:
+        Input image channels.
+    rng:
+        Seed/generator for weight initialisation.
+    """
+
+    def __init__(self, depth: int = 14, num_classes: int = 10,
+                 base_width: int = 8, in_channels: int = 3, rng: RngLike = None):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError(f"ResNet depth must be 6n+2, got {depth}")
+        n = (depth - 2) // 6
+        rng = new_rng(rng)
+        self.depth = depth
+        self.num_classes = num_classes
+
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, base_width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(base_width),
+            nn.ReLU(),
+        )
+        widths = (base_width, base_width * 2, base_width * 4)
+        stages = []
+        previous = base_width
+        for stage_index, width in enumerate(widths):
+            blocks = []
+            for block_index in range(n):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(previous, width, stride, rng))
+                previous = width
+            stages.append(nn.Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3 = stages
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(previous, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return self.head(self.pool(out))

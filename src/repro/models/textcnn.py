@@ -1,0 +1,83 @@
+"""Text-CNN (Kim, 2014) — the paper's NLP base model.
+
+Embedding -> parallel Conv1d filters of several widths -> ReLU ->
+max-over-time pooling -> concatenate -> dropout -> linear classifier.
+
+For the NLP experiments the paper transfers "the knowledge of all the
+convolution layers" between base models; with the construction order below
+(embedding, convolutions, head) a β around 0.8 reproduces that cut, and
+:func:`textcnn_conv_beta` computes it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import Tensor
+from repro.tensor.ops import concatenate
+from repro.utils.rng import RngLike, new_rng
+
+
+class TextCNN(nn.Module):
+    """Convolutional sentence classifier over integer token ids.
+
+    Parameters
+    ----------
+    vocab_size:
+        Vocabulary size (token ids in ``[0, vocab_size)``).
+    num_classes:
+        Output classes (2 for the paper's sentiment tasks).
+    embedding_dim:
+        Word-vector width.
+    filter_widths:
+        Kernel sizes of the parallel convolutions (paper uses 3, 4, 5).
+    filters_per_width:
+        Feature maps per kernel size.
+    dropout:
+        Dropout probability before the classifier head.
+    """
+
+    def __init__(self, vocab_size: int, num_classes: int = 2,
+                 embedding_dim: int = 16,
+                 filter_widths: Sequence[int] = (3, 4, 5),
+                 filters_per_width: int = 8,
+                 dropout: float = 0.5, rng: RngLike = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+        self.filter_widths = tuple(filter_widths)
+
+        self.embedding = nn.Embedding(vocab_size, embedding_dim, rng=rng)
+        self._convs = []
+        for width in self.filter_widths:
+            conv = nn.Conv1d(embedding_dim, filters_per_width, width,
+                             padding=width - 1, rng=rng)
+            self.add_module(f"conv{width}", conv)
+            self._convs.append(conv)
+        self.dropout = nn.Dropout(dropout, rng=rng)
+        total_filters = filters_per_width * len(self.filter_widths)
+        self.head = nn.Linear(total_filters, num_classes, rng=rng)
+
+    def forward(self, token_ids) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        embedded = self.embedding(token_ids)           # (N, L, D)
+        embedded = embedded.transpose(0, 2, 1)          # (N, D, L)
+        pooled = [F.max_over_time(conv(embedded).relu()) for conv in self._convs]
+        features = concatenate(pooled, axis=1)
+        return self.head(self.dropout(features))
+
+
+def textcnn_conv_beta(model: TextCNN) -> float:
+    """β that transfers exactly the embedding + convolution layers.
+
+    Reproduces the paper's NLP protocol: "we transfer the knowledge of all
+    the convolution layers of Text-CNN to initialize the next base model".
+    """
+    head_params = sum(p.size for _, p in model.head.named_parameters())
+    total = model.num_parameters()
+    return (total - head_params) / total

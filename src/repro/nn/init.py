@@ -1,0 +1,35 @@
+"""Weight initialisers (He / Glorot families).
+
+EDDE's knowledge-transfer step re-initialises the upper (task-specific)
+layers of each new base model with the same initialiser used at
+construction, so initialisers take an explicit RNG to stay reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Kaiming-normal init, the paper's choice for ReLU conv nets."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def glorot_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Xavier init, used for embeddings and the TextCNN dense head."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

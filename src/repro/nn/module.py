@@ -1,0 +1,146 @@
+"""``Module``/``Parameter`` base classes — the layer framework's spine.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+registered automatically on attribute assignment (the familiar
+PyTorch-style contract).  Two capabilities matter specifically to the EDDE
+reproduction:
+
+* ``state_dict``/``load_state_dict`` — snapshotting base models for the
+  ensemble (Snapshot Ensemble keeps one snapshot per learning-rate cycle;
+  EDDE stores every `h_t`).
+* a stable, input-to-output parameter ordering (via ``named_parameters``)
+  that :mod:`repro.core.transfer` uses to copy the first β fraction of
+  layers from `h_{t-1}` into `h_t` (paper Sec. IV-B, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` leaf)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under a dynamic name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` in registration order.
+
+        Registration order follows construction order, which for every model
+        in :mod:`repro.models` runs from the input stem to the classifier
+        head — the ordering β-transfer relies on.
+        """
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy all parameters (and buffers) into a flat dict."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for prefix, module in self._named_modules(""):
+            for buf_name, buffer in getattr(module, "_buffers", {}).items():
+                state[f"{prefix}{buf_name}"] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters (and buffers) from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        for name, param in own.items():
+            if name not in state:
+                raise KeyError(f"missing parameter in state dict: {name}")
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: saved {value.shape}, model {param.data.shape}"
+                )
+            param.data[...] = value
+        for prefix, module in self._named_modules(""):
+            buffers = getattr(module, "_buffers", None)
+            if not buffers:
+                continue
+            for buf_name in list(buffers):
+                key = f"{prefix}{buf_name}"
+                if key in state:
+                    buffers[buf_name] = np.array(state[key], copy=True)
+
+    def _named_modules(self, prefix: str) -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix, self)
+        for name, child in self._modules.items():
+            yield from child._named_modules(f"{prefix}{name}.")
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,79 @@
+"""Batch normalisation (1D and 2D), with running statistics buffers.
+
+Built compositionally from Tensor primitives so the backward pass is exact
+by construction; running mean/variance live in ``_buffers`` so they ride
+along with ``state_dict``/``load_state_dict`` (snapshots must capture them
+or evaluation-time accuracy collapses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        object.__setattr__(self, "_buffers", {
+            "running_mean": np.zeros(num_features),
+            "running_var": np.ones(num_features),
+        })
+
+    def reinitialize(self, rng: np.random.Generator) -> None:
+        self.gamma.data[...] = 1.0
+        self.beta.data[...] = 0.0
+        self._buffers["running_mean"][...] = 0.0
+        self._buffers["running_var"][...] = 1.0
+
+    def _reduce_axes(self):
+        raise NotImplementedError
+
+    def _param_shape(self):
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._reduce_axes()
+        shape = self._param_shape()
+        if self.training:
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            m = self.momentum
+            self._buffers["running_mean"] = m * self._buffers["running_mean"] + (1 - m) * batch_mean
+            self._buffers["running_var"] = m * self._buffers["running_var"] + (1 - m) * batch_var
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            x_hat = centered / ((var + self.eps) ** 0.5)
+        else:
+            mean = self._buffers["running_mean"].reshape(shape)
+            std = np.sqrt(self._buffers["running_var"].reshape(shape) + self.eps)
+            x_hat = (x - Tensor(mean)) / Tensor(std)
+        return x_hat * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Normalise over the batch axis of (N, F) activations."""
+
+    def _reduce_axes(self):
+        return (0,)
+
+    def _param_shape(self):
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Normalise over batch and spatial axes of (N, C, H, W) activations."""
+
+    def _reduce_axes(self):
+        return (0, 2, 3)
+
+    def _param_shape(self):
+        return (1, self.num_features, 1, 1)

@@ -1,0 +1,33 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and applies gradient updates.
+
+    Subclasses implement :meth:`step`; learning-rate schedules mutate
+    :attr:`lr` between epochs via :meth:`set_lr`.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,58 @@
+"""SGD with momentum, Nesterov, and decoupled L2 weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent — the paper's training protocol.
+
+    Parameters
+    ----------
+    parameters:
+        Trainable parameters.
+    lr:
+        Initial learning rate (0.1 for ResNet/TextCNN, 0.2 for DenseNet in
+        the paper's protocol).
+    momentum:
+        Classical momentum coefficient.
+    weight_decay:
+        L2 penalty added to the gradient (not applied to gradients that are
+        ``None``, i.e. parameters untouched this step).
+    nesterov:
+        Use Nesterov's lookahead variant.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float,
+                 momentum: float = 0.9, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity -= self.lr * grad
+                if self.nesterov:
+                    param.data += self.momentum * velocity - self.lr * grad
+                else:
+                    param.data += velocity
+            else:
+                param.data -= self.lr * grad

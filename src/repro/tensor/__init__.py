@@ -1,0 +1,24 @@
+"""Tape-based reverse-mode automatic differentiation over numpy arrays.
+
+This package is the lowest substrate of the reproduction: the paper's
+framework (Keras/TensorFlow) is replaced by a small, well-tested autograd
+engine.  :class:`~repro.tensor.tensor.Tensor` wraps a numpy array and records
+the operations applied to it on a tape; calling :meth:`Tensor.backward`
+propagates gradients back through the tape.
+
+The op surface is intentionally small but complete enough to express every
+model in the paper (ResNet, DenseNet, TextCNN) and the diversity-driven loss
+(Eq. 10/11 of the paper), whose gradient is exercised directly through the
+``l2norm`` op.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.grad_check import gradcheck, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numeric_gradient",
+]

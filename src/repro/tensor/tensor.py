@@ -1,0 +1,425 @@
+"""The :class:`Tensor` class: a numpy array plus a reverse-mode tape.
+
+Design notes
+------------
+* Every differentiable operation creates a new ``Tensor`` whose ``_parents``
+  hold references to its inputs and whose ``_backward`` closure knows how to
+  push the output gradient into the parents' ``grad`` buffers.
+* ``backward()`` topologically sorts the tape and runs the closures once.
+* Gradients accumulate (``+=``), so a tensor used twice receives the sum of
+  both contributions — required by residual and dense connectivity.
+* A module-level switch (:func:`no_grad`) disables taping for inference,
+  which matters because ensemble evaluation dominates benchmark runtime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded on the tape."""
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient taping (inference mode)."""
+    previous = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = previous
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    array = np.asarray(data, dtype=dtype)
+    return array
+
+
+def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (produced under broadcasting) back to ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` by default.  The
+        reproduction favours float64 so finite-difference gradient checks
+        are tight; models remain fast enough at the benchmark scale.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Leaf tensors with
+        ``requires_grad=True`` act as trainable parameters.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._op: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _make(
+        cls,
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        parents = tuple(parents)
+        taped = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=taped)
+        if taped:
+            out._parents = parents
+            out._backward = backward
+            out._op = op
+        return out
+
+    @staticmethod
+    def ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Coerce ``value`` into a (non-differentiable) Tensor if needed."""
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Gradient machinery
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _sum_to_shape(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to 1 for scalar tensors (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g)
+            if other.requires_grad:
+                other._accumulate(g)
+
+        return Tensor._make(self.data + other.data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(-g)
+
+        return Tensor._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g)
+            if other.requires_grad:
+                other._accumulate(-g)
+
+        return Tensor._make(self.data - other.data, (self, other), backward, "sub")
+
+    def __rsub__(self, other):
+        return Tensor.ensure(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * other.data)
+            if other.requires_grad:
+                other._accumulate(g * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g / other.data)
+            if other.requires_grad:
+                other._accumulate(-g * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other):
+        return Tensor.ensure(other).__truediv__(self)
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward, "pow")
+
+    def __matmul__(self, other):
+        other = Tensor.ensure(other)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ g)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, g)
+                self._accumulate(full)
+
+        return Tensor._make(self.data[index], (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            expanded = out_data
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient evenly across ties so gradcheck stays exact.
+            mask /= mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * grad)
+
+        return Tensor._make(out_data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward, "relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(g):
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip")

@@ -1,0 +1,55 @@
+"""Lightweight structured logging for training runs.
+
+The trainers log one record per epoch (loss, accuracy, learning rate); the
+benchmark harnesses read these records back to draw Fig. 7-style curves.
+Standard-library ``logging`` handles console output.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a console logger configured once per process."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(message)s", "%H:%M:%S"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+@dataclass
+class RunLogger:
+    """Accumulates per-epoch training records for later analysis.
+
+    Attributes
+    ----------
+    records:
+        One dict per logged epoch, e.g. ``{"epoch": 3, "loss": 1.2, ...}``.
+    """
+
+    verbose: bool = False
+    records: List[Dict[str, float]] = field(default_factory=list)
+
+    def log(self, **fields: float) -> None:
+        self.records.append(dict(fields))
+        if self.verbose:
+            rendered = " ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+                                for k, v in fields.items())
+            get_logger().info(rendered)
+
+    def column(self, key: str) -> List[float]:
+        """Extract one field across all records (missing entries skipped)."""
+        return [r[key] for r in self.records if key in r]
+
+    def last(self, key: str, default: float = float("nan")) -> float:
+        for record in reversed(self.records):
+            if key in record:
+                return record[key]
+        return default

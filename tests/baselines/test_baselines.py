@@ -1,0 +1,136 @@
+"""Every baseline end-to-end on the tiny fixture."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdaBoostM1,
+    AdaBoostNC,
+    AdaBoostNCConfig,
+    BANs,
+    BANsConfig,
+    Bagging,
+    BaselineConfig,
+    SingleModel,
+    SnapshotConfig,
+    SnapshotEnsemble,
+)
+
+
+def quick_config(cls=BaselineConfig, **overrides):
+    base = dict(num_models=3, epochs_per_model=2, lr=0.05, batch_size=32,
+                weight_decay=0.0)
+    base.update(overrides)
+    return cls(**base)
+
+
+ALL_METHODS = [
+    (SingleModel, BaselineConfig),
+    (Bagging, BaselineConfig),
+    (AdaBoostM1, BaselineConfig),
+    (AdaBoostNC, AdaBoostNCConfig),
+    (SnapshotEnsemble, SnapshotConfig),
+    (BANs, BANsConfig),
+]
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method_cls,config_cls", ALL_METHODS)
+    def test_fit_produces_valid_result(self, method_cls, config_cls,
+                                       tiny_image_split, mlp_factory):
+        method = method_cls(mlp_factory, quick_config(config_cls))
+        result = method.fit(tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.total_epochs == 6
+        assert all(m.alpha > 0 for m in result.members)
+        # Curve checkpoints are monotone in cumulative epochs.
+        epochs = [p.cumulative_epochs for p in result.curve]
+        assert epochs == sorted(epochs)
+
+    @pytest.mark.parametrize("method_cls,config_cls", ALL_METHODS)
+    def test_reproducible(self, method_cls, config_cls, tiny_image_split,
+                          mlp_factory):
+        results = [
+            method_cls(mlp_factory, quick_config(config_cls)).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=3)
+            for _ in range(2)
+        ]
+        assert results[0].final_accuracy == results[1].final_accuracy
+
+
+class TestSingleModel:
+    def test_one_member_full_budget(self, tiny_image_split, mlp_factory):
+        result = SingleModel(mlp_factory, quick_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.members) == 1
+        assert result.members[0].epochs == 6
+        # per-epoch curve
+        assert len(result.curve) == 6
+
+
+class TestEnsembleSizes:
+    @pytest.mark.parametrize("method_cls,config_cls", ALL_METHODS[1:])
+    def test_member_count(self, method_cls, config_cls, tiny_image_split,
+                          mlp_factory):
+        method = method_cls(mlp_factory, quick_config(config_cls))
+        result = method.fit(tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 3
+        assert len(result.members) == 3
+
+
+class TestSnapshot:
+    def test_uses_cyclic_schedule(self, mlp_factory):
+        method = SnapshotEnsemble(mlp_factory, quick_config(SnapshotConfig))
+        assert method.config.schedule == "snapshot"
+
+    def test_snapshots_differ(self, tiny_image_split, mlp_factory):
+        result = SnapshotEnsemble(mlp_factory, quick_config(SnapshotConfig)).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        w0 = next(result.ensemble.models[0].parameters()).data
+        w1 = next(result.ensemble.models[1].parameters()).data
+        assert not np.allclose(w0, w1)
+
+
+class TestBANs:
+    def test_distillation_chain(self, tiny_image_split, mlp_factory):
+        config = quick_config(BANsConfig, distill_alpha=0.7, temperature=3.0)
+        result = BANs(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 3
+
+
+class TestAdaBoost:
+    def test_m1_weights_tracked(self, tiny_image_split, mlp_factory):
+        result = AdaBoostM1(mlp_factory, quick_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert all("epsilon" in m.extras for m in result.members)
+        assert all(0.0 < m.extras["epsilon"] < 1.0 for m in result.members)
+
+    def test_nc_penalty_tracked(self, tiny_image_split, mlp_factory):
+        result = AdaBoostNC(mlp_factory, quick_config(AdaBoostNCConfig)).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert all(0.0 <= m.extras["mean_penalty"] <= 1.0
+                   for m in result.members)
+
+    def test_nc_transfer_variant(self, tiny_image_split, mlp_factory):
+        config = quick_config(AdaBoostNCConfig, transfer=True)
+        result = AdaBoostNC(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert result.method == "AdaBoost.NC (transfer)"
+
+
+class TestFitResultHelpers:
+    def test_average_and_increase(self, tiny_image_split, mlp_factory):
+        result = Bagging(mlp_factory, quick_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        avg = result.average_member_accuracy()
+        assert avg == pytest.approx(
+            np.mean([m.test_accuracy for m in result.members]))
+        assert result.increased_accuracy() == pytest.approx(
+            result.final_accuracy - avg)
+
+    def test_accuracy_at_budget(self, tiny_image_split, mlp_factory):
+        result = Bagging(mlp_factory, quick_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert result.accuracy_at_budget(1) is None
+        assert result.accuracy_at_budget(6) is not None

@@ -1,0 +1,48 @@
+"""Negative Correlation Learning extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NCLConfig, NegativeCorrelationLearning
+from repro.core import ensemble_diversity
+
+
+@pytest.fixture
+def quick_config():
+    return NCLConfig(num_models=3, epochs_per_model=2, lr=0.05,
+                     batch_size=32, weight_decay=0.0, penalty_lambda=0.3)
+
+
+class TestNCL:
+    def test_fit_valid_result(self, tiny_image_split, mlp_factory,
+                              quick_config):
+        method = NegativeCorrelationLearning(mlp_factory, quick_config)
+        result = method.fit(tiny_image_split.train, tiny_image_split.test,
+                            rng=0)
+        assert len(result.ensemble) == 3
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.total_epochs == 6
+
+    def test_penalty_increases_diversity(self, tiny_image_split, mlp_factory):
+        def diversity_at(lam):
+            config = NCLConfig(num_models=3, epochs_per_model=3, lr=0.05,
+                               batch_size=32, weight_decay=0.0,
+                               penalty_lambda=lam)
+            result = NegativeCorrelationLearning(mlp_factory, config).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=2)
+            probs = result.ensemble.member_probs(tiny_image_split.test.x)
+            return ensemble_diversity(probs)
+
+        assert diversity_at(3.0) > diversity_at(0.0)
+
+    def test_runner_dispatch(self, tiny_image_split, mlp_factory):
+        from repro.experiments.protocol import Scenario
+        from repro.experiments.runner import run_method
+
+        scenario = Scenario(name="t", split=tiny_image_split,
+                            factory=mlp_factory, ensemble_size=2,
+                            epochs_per_model=1, edde_first_epochs=1,
+                            edde_later_epochs=1, lr=0.05, batch_size=32,
+                            gamma=0.1, beta=0.7, weight_decay=0.0)
+        result = run_method("ncl", scenario, rng=0)
+        assert result.method == "NCL"

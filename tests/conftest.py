@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny datasets and factories that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, TrainTestSplit
+from repro.data.synthetic_images import ImageConfig, make_image_dataset
+from repro.data.synthetic_text import TextConfig, make_text_dataset
+from repro.models import MLP, ModelFactory
+
+
+@pytest.fixture(scope="session")
+def tiny_image_split() -> TrainTestSplit:
+    """A small, easy image task an MLP can learn in a couple of epochs."""
+    config = ImageConfig(num_classes=4, image_size=8, train_size=160,
+                         test_size=80, noise_std=0.2, jitter=1,
+                         occlusion_prob=0.1, mix_prob=0.0, label_noise=0.0,
+                         prototypes_per_class=1, name="tiny-images")
+    return make_image_dataset(config, rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_text_split() -> TrainTestSplit:
+    """A small binary-sentiment task for TextCNN-path tests."""
+    config = TextConfig(vocab_size=300, max_length=24, min_length=12,
+                        train_size=240, test_size=80, polar_vocab=20,
+                        polar_rate=0.35, opposite_rate=0.03,
+                        name="tiny-text")
+    return make_text_dataset(config, rng=7)
+
+
+@pytest.fixture
+def mlp_factory(tiny_image_split) -> ModelFactory:
+    input_dim = int(np.prod(tiny_image_split.train.x.shape[1:]))
+    return ModelFactory(MLP, input_dim=input_dim,
+                        num_classes=tiny_image_split.num_classes,
+                        hidden=(24,))
+
+
+@pytest.fixture
+def toy_dataset() -> Dataset:
+    """A deterministic, linearly separable 3-class dataset."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+    x = np.concatenate([rng.normal(c, 0.4, size=(30, 2)) for c in centers])
+    y = np.repeat(np.arange(3), 30)
+    return Dataset(x, y, num_classes=3, name="toy")

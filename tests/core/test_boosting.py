@@ -1,0 +1,161 @@
+"""Boosting framework: Eq. 12-15 semantics and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boosting import (
+    bias_per_sample,
+    initial_model_weight,
+    model_weight,
+    similarity_per_sample,
+    update_sample_weights,
+)
+
+RNG = np.random.default_rng(6)
+
+
+def dirichlet(n, k, seed=0):
+    return np.random.default_rng(seed).dirichlet(np.ones(k), size=n)
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        probs = dirichlet(5, 3)
+        np.testing.assert_allclose(similarity_per_sample(probs, probs), 1.0)
+
+    def test_opposite_onehot_is_zero(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert similarity_per_sample(a, b)[0] == pytest.approx(0.0)
+
+    def test_range(self):
+        sims = similarity_per_sample(dirichlet(20, 4, 1), dirichlet(20, 4, 2))
+        assert np.all(sims >= 0.0) and np.all(sims <= 1.0)
+
+
+class TestBias:
+    def test_perfect_prediction_zero(self):
+        probs = np.array([[1.0, 0.0, 0.0]])
+        assert bias_per_sample(probs, np.array([0]), 3)[0] == pytest.approx(0.0)
+
+    def test_confident_wrong_is_one(self):
+        probs = np.array([[1.0, 0.0]])
+        assert bias_per_sample(probs, np.array([1]), 2)[0] == pytest.approx(1.0)
+
+    def test_range(self):
+        probs = dirichlet(30, 5, 3)
+        labels = RNG.integers(0, 5, 30)
+        bias = bias_per_sample(probs, labels, 5)
+        assert np.all(bias >= 0.0) and np.all(bias <= 1.0)
+
+
+class TestWeightUpdate:
+    def test_normalised(self):
+        n = 10
+        initial = np.full(n, 1.0 / n)
+        sim = RNG.random(n)
+        bias = RNG.random(n)
+        mis = RNG.random(n) > 0.5
+        weights = update_sample_weights(initial, sim, bias, mis)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_misclassified_gain_weight(self):
+        n = 4
+        initial = np.full(n, 0.25)
+        sim = np.full(n, 0.5)
+        bias = np.full(n, 0.5)
+        mis = np.array([True, False, False, False])
+        weights = update_sample_weights(initial, sim, bias, mis)
+        assert weights[0] > weights[1]
+        assert weights[1] == weights[2] == weights[3]
+
+    def test_correct_samples_unboosted(self):
+        n = 5
+        initial = np.full(n, 0.2)
+        weights = update_sample_weights(initial, np.ones(n), np.ones(n),
+                                        np.zeros(n, dtype=bool))
+        np.testing.assert_allclose(weights, initial)
+
+    def test_higher_similarity_boosts_more(self):
+        """Paper Sec. IV-E: if h_t agrees with H_{t-1} on a misclassified
+        sample, that sample needs more attention."""
+        initial = np.full(3, 1 / 3)
+        sim = np.array([0.9, 0.1, 0.5])
+        bias = np.full(3, 0.5)
+        mis = np.array([True, True, False])
+        weights = update_sample_weights(initial, sim, bias, mis)
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_restarts_from_initial_not_compound(self):
+        """Eq. 14 rescales from W1; feeding the same inputs twice must give
+        the same result (no compounding)."""
+        initial = np.full(4, 0.25)
+        sim, bias = np.full(4, 0.5), np.full(4, 0.5)
+        mis = np.array([True, False, True, False])
+        once = update_sample_weights(initial, sim, bias, mis)
+        twice = update_sample_weights(initial, sim, bias, mis)
+        np.testing.assert_allclose(once, twice)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 30))
+    def test_property_valid_distribution(self, seed, n):
+        rng = np.random.default_rng(seed)
+        weights = update_sample_weights(
+            np.full(n, 1.0 / n), rng.random(n), rng.random(n),
+            rng.random(n) > 0.5)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+
+class TestModelWeight:
+    def test_better_model_higher_alpha(self):
+        n = 100
+        weights = np.full(n, 1.0 / n)
+        sim = np.full(n, 0.8)
+        good = np.zeros(n, dtype=bool); good[:90] = True
+        weak = np.zeros(n, dtype=bool); weak[:60] = True
+        assert model_weight(sim, weights, good) > model_weight(sim, weights, weak)
+
+    def test_all_correct_finite(self):
+        n = 50
+        alpha = model_weight(np.ones(n), np.full(n, 1 / n),
+                             np.ones(n, dtype=bool))
+        assert np.isfinite(alpha)
+        assert alpha <= 10.0
+
+    def test_laplace_smoothing_bounds(self):
+        n = 100
+        alpha = model_weight(np.ones(n), np.full(n, 1 / n),
+                             np.ones(n, dtype=bool))
+        assert alpha <= 0.5 * np.log(n + 1) + 0.1
+
+    def test_chance_model_near_zero(self):
+        n = 1000
+        correct = np.zeros(n, dtype=bool)
+        correct[:500] = True
+        alpha = model_weight(np.ones(n), np.full(n, 1 / n), correct)
+        assert abs(alpha) < 0.01
+
+
+class TestInitialModelWeight:
+    def test_commensurate_with_later_rounds(self):
+        """alpha_1 must be computed under the same exp-boosted weighting as
+        Eq. 15, so a mediocre first model cannot dominate the ensemble."""
+        n = 100
+        weights = np.full(n, 1.0 / n)
+        correct = np.zeros(n, dtype=bool)
+        correct[:75] = True  # 75% training accuracy
+        bias = np.where(correct, 0.2, 0.9)
+        alpha1 = initial_model_weight(correct, weights, bias)
+        # Under exp-boosting, wrong mass = 0.25 * e^{1.9} ~ 1.67 > 0.75.
+        assert alpha1 < 0.1
+
+    def test_strong_first_model_positive(self):
+        n = 100
+        weights = np.full(n, 1.0 / n)
+        correct = np.ones(n, dtype=bool)
+        correct[:2] = False
+        bias = np.where(correct, 0.1, 0.9)
+        assert initial_model_weight(correct, weights, bias) > 0.5

@@ -1,0 +1,119 @@
+"""Diversity measures: Eq. 1, 2, 3, 7 semantics and bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import (
+    ensemble_diversity,
+    hard_ambiguity,
+    pairwise_distance,
+    pairwise_diversity,
+    pairwise_similarity,
+    similarity_matrix,
+)
+
+RNG = np.random.default_rng(4)
+
+
+def random_probs(n=10, k=5, seed=0):
+    return np.random.default_rng(seed).dirichlet(np.ones(k), size=n)
+
+
+class TestPairwiseDiversity:
+    def test_identical_models_zero(self):
+        probs = random_probs()
+        assert pairwise_diversity(probs, probs) == pytest.approx(0.0)
+        assert pairwise_similarity(probs, probs) == pytest.approx(1.0)
+
+    def test_disjoint_onehot_is_one(self):
+        # maximally different distributions: distance = sqrt(2), Div = 1.
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert pairwise_diversity(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a, b = random_probs(seed=1), random_probs(seed=2)
+        assert pairwise_diversity(a, b) == pytest.approx(pairwise_diversity(b, a))
+
+    def test_per_sample_distance_shape(self):
+        a, b = random_probs(7), random_probs(7, seed=9)
+        assert pairwise_distance(a, b).shape == (7,)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_diversity(random_probs(3), random_probs(4))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pairwise_diversity(np.ones(3), np.ones(3))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(2, 8), st.integers(1, 12))
+    def test_bounds_property(self, seed, k, n):
+        """Paper Eq. 6: Div and Sim always lie in [0, 1]."""
+        rng = np.random.default_rng(seed)
+        a = rng.dirichlet(np.ones(k), size=n)
+        b = rng.dirichlet(np.ones(k), size=n)
+        div = pairwise_diversity(a, b)
+        assert 0.0 <= div <= 1.0
+        assert 0.0 <= pairwise_similarity(a, b) <= 1.0
+
+
+class TestEnsembleDiversity:
+    def test_matches_manual_mean(self):
+        members = [random_probs(seed=s) for s in range(3)]
+        manual = np.mean([pairwise_diversity(members[0], members[1]),
+                          pairwise_diversity(members[0], members[2]),
+                          pairwise_diversity(members[1], members[2])])
+        assert ensemble_diversity(members) == pytest.approx(manual)
+
+    def test_identical_members_zero(self):
+        probs = random_probs()
+        assert ensemble_diversity([probs, probs, probs]) == pytest.approx(0.0)
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            ensemble_diversity([random_probs()])
+
+    def test_adding_a_clone_lowers_diversity(self):
+        a, b = random_probs(seed=1), random_probs(seed=2)
+        base = ensemble_diversity([a, b])
+        with_clone = ensemble_diversity([a, b, a])
+        assert with_clone < base
+
+
+class TestSimilarityMatrix:
+    def test_structure(self):
+        members = [random_probs(seed=s) for s in range(4)]
+        matrix = similarity_matrix(members)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_values_match_pairwise(self):
+        members = [random_probs(seed=s) for s in range(3)]
+        matrix = similarity_matrix(members)
+        assert matrix[0, 2] == pytest.approx(
+            pairwise_similarity(members[0], members[2]))
+
+
+class TestHardAmbiguity:
+    def test_unanimous_correct_is_zero(self):
+        labels = np.array([0, 1, 0])
+        predictions = [labels.copy(), labels.copy()]
+        amb = hard_ambiguity(predictions, labels, labels, alphas=[1.0, 1.0])
+        np.testing.assert_allclose(amb, 0.0)
+
+    def test_disagreement_nonzero(self):
+        labels = np.array([0, 0])
+        member = [np.array([0, 1]), np.array([0, 0])]  # first model wrong on x2
+        ensemble = np.array([0, 0])
+        amb = hard_ambiguity(member, ensemble, labels, alphas=[1.0, 1.0])
+        assert amb[0] == 0.0
+        assert amb[1] == pytest.approx(1.0)  # ensemble right (+1), h1 wrong (-1)
+
+    def test_alpha_length_checked(self):
+        with pytest.raises(ValueError):
+            hard_ambiguity([np.zeros(2)], np.zeros(2), np.zeros(2), alphas=[1, 2])

@@ -1,0 +1,112 @@
+"""Diversity-driven loss: Eq. 10 semantics and the Eq. 11 gradient."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import diversity_driven_loss, diversity_loss_grad_reference
+from repro.nn import cross_entropy
+from repro.tensor import Tensor, gradcheck
+from repro.tensor.ops import softmax
+
+RNG = np.random.default_rng(8)
+
+
+def setup_batch(batch=4, k=5, seed=0):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(batch, k)), requires_grad=True)
+    labels = rng.integers(0, k, size=batch)
+    ensemble = rng.dirichlet(np.ones(k), size=batch)
+    return logits, labels, ensemble
+
+
+class TestLossValue:
+    def test_gamma_zero_equals_cross_entropy(self):
+        logits, labels, ensemble = setup_batch()
+        with_div = diversity_driven_loss(logits, labels, ensemble, gamma=0.0).item()
+        plain = cross_entropy(logits, labels).item()
+        assert with_div == pytest.approx(plain, rel=1e-9)
+
+    def test_no_ensemble_equals_cross_entropy(self):
+        logits, labels, _ = setup_batch()
+        loss = diversity_driven_loss(logits, labels, None, gamma=0.5).item()
+        assert loss == pytest.approx(cross_entropy(logits, labels).item(), rel=1e-9)
+
+    def test_penalty_reduces_loss(self):
+        logits, labels, ensemble = setup_batch()
+        base = diversity_driven_loss(logits, labels, ensemble, gamma=0.0).item()
+        with_penalty = diversity_driven_loss(logits, labels, ensemble, gamma=0.5).item()
+        assert with_penalty < base  # the diversity term is subtracted
+
+    def test_matches_manual_computation(self):
+        logits, labels, ensemble = setup_batch(batch=3, k=4, seed=3)
+        gamma = 0.2
+        probs = softmax(logits, axis=1).numpy()
+        ce = -np.log(probs[np.arange(3), labels] + 1e-12)
+        penalty = np.sqrt(((probs - ensemble) ** 2).sum(axis=1) + 1e-12)
+        expected = (ce - gamma * penalty).mean()
+        actual = diversity_driven_loss(logits, labels, ensemble, gamma).item()
+        assert actual == pytest.approx(expected, rel=1e-6)
+
+    def test_sample_weights_scale(self):
+        logits, labels, ensemble = setup_batch(batch=2)
+        weights = np.array([2.0, 0.0])
+        weighted = diversity_driven_loss(logits, labels, ensemble, 0.1,
+                                         sample_weights=weights).item()
+        only_first = diversity_driven_loss(
+            Tensor(logits.data[:1]), labels[:1], ensemble[:1], 0.1).item()
+        assert weighted == pytest.approx(only_first, rel=1e-6)
+
+    def test_shape_validation(self):
+        logits, labels, ensemble = setup_batch()
+        with pytest.raises(ValueError):
+            diversity_driven_loss(logits, labels, ensemble[:2], 0.1)
+        with pytest.raises(ValueError):
+            diversity_driven_loss(logits, labels, ensemble, 0.1,
+                                  sample_weights=np.ones(99))
+
+
+class TestGradient:
+    def test_gradcheck_full_loss(self):
+        logits, labels, ensemble = setup_batch(seed=5)
+        weights = np.random.default_rng(5).random(4) + 0.5
+        assert gradcheck(
+            lambda l: diversity_driven_loss(l, labels, ensemble, 0.3,
+                                            sample_weights=weights),
+            [logits])
+
+    def test_eq11_reference_matches_autograd(self):
+        """The paper's closed-form Eq. 11 must equal the autograd gradient
+        of Eq. 10 taken w.r.t. the softmax output."""
+        rng = np.random.default_rng(12)
+        batch, k = 5, 4
+        probs_data = rng.dirichlet(np.ones(k), size=batch)
+        labels = rng.integers(0, k, size=batch)
+        ensemble = rng.dirichlet(np.ones(k), size=batch)
+        weights = rng.random(batch) + 0.5
+        gamma = 0.25
+
+        # Autograd path: treat the probabilities themselves as the leaf.
+        probs = Tensor(probs_data, requires_grad=True)
+        picked = probs[np.arange(batch), labels] + 1e-12
+        from repro.tensor.ops import l2norm
+        penalty = l2norm(probs - Tensor(ensemble), axis=1)
+        loss = ((-picked.log() - penalty * gamma)
+                * Tensor(weights)).sum() * (1.0 / batch)
+        loss.backward()
+
+        reference = diversity_loss_grad_reference(probs_data, labels, ensemble,
+                                                  gamma, sample_weights=weights)
+        np.testing.assert_allclose(probs.grad, reference, atol=1e-8)
+
+    def test_gradient_pushes_away_from_ensemble(self):
+        """On non-label coordinates the gradient must push the model output
+        away from the ensemble's soft target (negative correlation)."""
+        probs = np.array([[0.5, 0.3, 0.2]])
+        labels = np.array([0])
+        ensemble = np.array([[0.5, 0.5, 0.0]])
+        grad = diversity_loss_grad_reference(probs, labels, ensemble, gamma=1.0)
+        # Coordinate 1: model (0.3) below ensemble (0.5) -> difference < 0 ->
+        # gradient positive -> gradient *descent* lowers it further away.
+        assert grad[0, 1] > 0
+        # Coordinate 2: model above ensemble -> descent pushes it up, away.
+        assert grad[0, 2] < 0

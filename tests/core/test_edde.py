@@ -1,0 +1,143 @@
+"""EDDE end-to-end: Algorithm 1 on small fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.core import EDDEConfig, EDDETrainer
+from repro.models import MLP, ModelFactory
+
+
+@pytest.fixture
+def quick_config():
+    return EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                      first_epochs=3, later_epochs=2,
+                      lr=0.05, batch_size=32, weight_decay=0.0)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = EDDEConfig()
+        assert config.total_epochs() == config.first_epochs + \
+            (config.num_models - 1) * config.later_epochs
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            EDDEConfig(num_models=0)
+        with pytest.raises(ValueError):
+            EDDEConfig(gamma=-0.1)
+        with pytest.raises(ValueError):
+            EDDEConfig(beta=1.5)
+        with pytest.raises(ValueError):
+            EDDEConfig(first_epochs=0)
+        with pytest.raises(ValueError):
+            EDDEConfig(correlate_target="nothing")
+
+
+class TestFit:
+    def test_produces_requested_models(self, tiny_image_split, mlp_factory,
+                                       quick_config):
+        trainer = EDDETrainer(mlp_factory, quick_config)
+        result = trainer.fit(tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 3
+        assert len(result.members) == 3
+        assert result.total_epochs == 3 + 2 + 2
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_alphas_positive(self, tiny_image_split, mlp_factory, quick_config):
+        result = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert all(a > 0 for a in result.ensemble.alphas)
+
+    def test_curve_recorded_per_round(self, tiny_image_split, mlp_factory,
+                                      quick_config):
+        result = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert [p.num_models for p in result.curve] == [1, 2, 3]
+        assert [p.cumulative_epochs for p in result.curve] == [3, 5, 7]
+
+    def test_works_without_test_set(self, tiny_image_split, mlp_factory,
+                                    quick_config):
+        result = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, rng=0)
+        assert np.isnan(result.final_accuracy)
+        assert result.curve == []
+
+    def test_beats_single_weak_model(self, tiny_image_split, mlp_factory,
+                                     quick_config):
+        """The ensemble must beat its own first (least trained) member."""
+        result = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert result.final_accuracy >= result.members[0].test_accuracy - 0.02
+
+    def test_reproducible(self, tiny_image_split, mlp_factory, quick_config):
+        r1 = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=42)
+        r2 = EDDETrainer(mlp_factory, quick_config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=42)
+        assert r1.final_accuracy == r2.final_accuracy
+        np.testing.assert_allclose(r1.ensemble.alphas, r2.ensemble.alphas)
+
+    def test_single_model_degenerate(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(num_models=1, first_epochs=2, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 1
+
+    def test_gamma_zero_is_normal_loss_variant(self, tiny_image_split,
+                                               mlp_factory):
+        config = EDDEConfig(num_models=2, gamma=0.0, beta=0.6,
+                            first_epochs=2, later_epochs=2, lr=0.05,
+                            batch_size=32)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 2
+
+
+class TestVariants:
+    def test_correlate_previous_runs(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(num_models=3, gamma=0.2, beta=0.6,
+                            first_epochs=2, later_epochs=2, lr=0.05,
+                            batch_size=32, correlate_target="previous")
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 3
+
+    def test_cumulative_weights_runs(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                            first_epochs=2, later_epochs=2, lr=0.05,
+                            batch_size=32, update_weights_from_initial=False)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert len(result.ensemble) == 3
+
+    def test_adaptive_beta_search(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(
+            num_models=2, gamma=0.1, beta=None,
+            first_epochs=2, later_epochs=2, lr=0.05, batch_size=32,
+            beta_search={"n_folds": 4, "betas": (1.0, 0.5),
+                         "tolerance": 0.5, "teacher_epochs": 1,
+                         "probe_epochs": 1},
+        )
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert "beta" in result.metadata
+        assert 0.0 <= result.metadata["beta"] <= 1.0
+
+
+class TestDiversityEffect:
+    def test_gamma_increases_diversity(self, tiny_image_split, mlp_factory):
+        """Higher gamma must produce a more diverse ensemble (the paper's
+        central mechanism), measured by Eq. 7 on the test set."""
+        from repro.core import ensemble_diversity
+
+        def diversity_at(gamma):
+            config = EDDEConfig(num_models=3, gamma=gamma, beta=0.8,
+                                first_epochs=3, later_epochs=3, lr=0.05,
+                                batch_size=32)
+            result = EDDETrainer(mlp_factory, config).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=1)
+            probs = result.ensemble.member_probs(tiny_image_split.test.x)
+            return ensemble_diversity(probs)
+
+        assert diversity_at(2.0) > diversity_at(0.0)

@@ -1,0 +1,98 @@
+"""Ensemble container: Eq. 16 combination, voting, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import Ensemble, average_probs, majority_vote
+from repro.models import MLP
+
+RNG = np.random.default_rng(10)
+
+
+def make_model(seed):
+    return MLP(input_dim=4, num_classes=3, hidden=(6,), rng=seed)
+
+
+class TestEnsemble:
+    def test_add_and_len(self):
+        ensemble = Ensemble()
+        ensemble.add(make_model(0), 1.0)
+        ensemble.add(make_model(1), 2.0)
+        assert len(ensemble) == 2
+
+    def test_rejects_nonpositive_alpha(self):
+        ensemble = Ensemble()
+        with pytest.raises(ValueError):
+            ensemble.add(make_model(0), 0.0)
+
+    def test_empty_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            Ensemble().predict_probs(RNG.normal(size=(2, 4)))
+
+    def test_predict_probs_valid_distribution(self):
+        ensemble = Ensemble()
+        for s in range(3):
+            ensemble.add(make_model(s), s + 1.0)
+        probs = ensemble.predict_probs(RNG.normal(size=(7, 4)))
+        assert probs.shape == (7, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_weighted_average_matches_manual(self):
+        ensemble = Ensemble()
+        models = [make_model(s) for s in range(2)]
+        ensemble.add(models[0], 1.0)
+        ensemble.add(models[1], 3.0)
+        x = RNG.normal(size=(5, 4))
+        member = ensemble.member_probs(x)
+        expected = 0.25 * member[0] + 0.75 * member[1]
+        np.testing.assert_allclose(ensemble.predict_probs(x), expected, atol=1e-12)
+
+    def test_single_member_equals_model(self):
+        ensemble = Ensemble()
+        model = make_model(0)
+        ensemble.add(model, 5.0)
+        x = RNG.normal(size=(4, 4))
+        from repro.nn import predict_probs
+        np.testing.assert_allclose(ensemble.predict_probs(x),
+                                   predict_probs(model, x), atol=1e-12)
+
+    def test_evaluate_and_member_accuracies(self):
+        ensemble = Ensemble()
+        ensemble.add(make_model(0))
+        ensemble.add(make_model(1))
+        x = RNG.normal(size=(10, 4))
+        y = RNG.integers(0, 3, size=10)
+        acc = ensemble.evaluate(x, y)
+        assert 0.0 <= acc <= 1.0
+        members = ensemble.member_accuracies(x, y)
+        assert len(members) == 2
+
+
+class TestCombiners:
+    def test_majority_vote(self):
+        a = np.array([[0.9, 0.1], [0.9, 0.1]])
+        b = np.array([[0.8, 0.2], [0.2, 0.8]])
+        c = np.array([[0.1, 0.9], [0.3, 0.7]])
+        votes = majority_vote([a, b, c])
+        np.testing.assert_array_equal(votes, [0, 1])
+
+    def test_average_probs_uniform(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(average_probs([a, b]), [[0.5, 0.5]])
+
+    def test_average_probs_weighted(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(average_probs([a, b], alphas=[3.0, 1.0]),
+                                   [[0.75, 0.25]])
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+        with pytest.raises(ValueError):
+            average_probs([])
+
+    def test_alpha_mismatch(self):
+        with pytest.raises(ValueError):
+            average_probs([np.ones((1, 2))], alphas=[1.0, 2.0])

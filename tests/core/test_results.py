@@ -1,0 +1,44 @@
+"""FitResult bookkeeping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import Ensemble
+from repro.core.results import CurvePoint, FitResult, MemberRecord
+
+
+def make_result():
+    result = FitResult(method="demo", ensemble=Ensemble())
+    result.members = [
+        MemberRecord(index=0, alpha=1.0, epochs=5, train_accuracy=0.9,
+                     test_accuracy=0.6),
+        MemberRecord(index=1, alpha=1.0, epochs=5, train_accuracy=0.95,
+                     test_accuracy=0.8),
+    ]
+    result.curve = [CurvePoint(5, 0.6, 1), CurvePoint(10, 0.85, 2)]
+    result.final_accuracy = 0.85
+    result.total_epochs = 10
+    return result
+
+
+class TestFitResult:
+    def test_average_member_accuracy(self):
+        assert make_result().average_member_accuracy() == pytest.approx(0.7)
+
+    def test_increased_accuracy(self):
+        assert make_result().increased_accuracy() == pytest.approx(0.15)
+
+    def test_empty_members_nan(self):
+        result = FitResult(method="x", ensemble=Ensemble())
+        assert np.isnan(result.average_member_accuracy())
+
+    def test_curve_arrays(self):
+        epochs, acc = make_result().curve_arrays()
+        np.testing.assert_array_equal(epochs, [5, 10])
+        np.testing.assert_array_equal(acc, [0.6, 0.85])
+
+    def test_accuracy_at_budget(self):
+        result = make_result()
+        assert result.accuracy_at_budget(4) is None
+        assert result.accuracy_at_budget(5) == 0.6
+        assert result.accuracy_at_budget(100) == 0.85

@@ -1,0 +1,74 @@
+"""Ensemble save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, load_ensemble, save_ensemble
+from repro.models import MLP, ModelFactory
+
+RNG = np.random.default_rng(13)
+
+
+@pytest.fixture
+def factory():
+    return ModelFactory(MLP, input_dim=4, num_classes=3, hidden=(6,))
+
+
+def make_ensemble(factory, count=3):
+    ensemble = Ensemble()
+    for seed in range(count):
+        ensemble.add(factory.build(rng=seed), alpha=seed + 0.5)
+    return ensemble
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, factory, tmp_path):
+        ensemble = make_ensemble(factory)
+        path = tmp_path / "ensemble.npz"
+        save_ensemble(ensemble, path)
+        restored = load_ensemble(path, factory)
+        x = RNG.normal(size=(10, 4))
+        np.testing.assert_allclose(ensemble.predict_probs(x),
+                                   restored.predict_probs(x), atol=1e-12)
+
+    def test_alphas_preserved(self, factory, tmp_path):
+        ensemble = make_ensemble(factory)
+        path = tmp_path / "e.npz"
+        save_ensemble(ensemble, path)
+        restored = load_ensemble(path, factory)
+        np.testing.assert_allclose(restored.alphas, ensemble.alphas)
+
+    def test_member_count(self, factory, tmp_path):
+        ensemble = make_ensemble(factory, count=5)
+        path = tmp_path / "e.npz"
+        save_ensemble(ensemble, path)
+        assert len(load_ensemble(path, factory)) == 5
+
+    def test_empty_ensemble_rejected(self, factory, tmp_path):
+        with pytest.raises(ValueError):
+            save_ensemble(Ensemble(), tmp_path / "e.npz")
+
+    def test_wrong_architecture_rejected(self, factory, tmp_path):
+        ensemble = make_ensemble(factory)
+        path = tmp_path / "e.npz"
+        save_ensemble(ensemble, path)
+        wrong = ModelFactory(MLP, input_dim=4, num_classes=3, hidden=(9,))
+        with pytest.raises(ValueError):
+            load_ensemble(path, wrong)
+
+    def test_batchnorm_buffers_survive(self, tmp_path):
+        from repro.models import ResNetCIFAR
+
+        factory = ModelFactory(ResNetCIFAR, depth=8, num_classes=3,
+                               base_width=4)
+        model = factory.build(rng=0)
+        model.train()
+        model(RNG.normal(size=(8, 3, 8, 8)))  # move running stats
+        ensemble = Ensemble()
+        ensemble.add(model, 1.0)
+        path = tmp_path / "e.npz"
+        save_ensemble(ensemble, path)
+        restored = load_ensemble(path, factory)
+        x = RNG.normal(size=(4, 3, 8, 8))
+        np.testing.assert_allclose(ensemble.predict_probs(x),
+                                   restored.predict_probs(x), atol=1e-12)

@@ -1,0 +1,69 @@
+"""Stacking meta-learner extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, StackedEnsemble
+from repro.core.stacking import SoftmaxRegression
+from repro.models import MLP
+
+RNG = np.random.default_rng(17)
+
+
+class TestSoftmaxRegression:
+    def test_learns_separable_data(self):
+        x = np.concatenate([RNG.normal(-2, 0.3, size=(40, 2)),
+                            RNG.normal(2, 0.3, size=(40, 2))])
+        y = np.repeat([0, 1], 40)
+        model = SoftmaxRegression(2, 2, rng=0)
+        model.fit(x, y, epochs=300, lr=0.5)
+        predictions = model.predict_probs(x).argmax(axis=1)
+        assert (predictions == y).mean() > 0.95
+
+    def test_probs_valid(self):
+        model = SoftmaxRegression(3, 4, rng=0)
+        probs = model.predict_probs(RNG.normal(size=(5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestStackedEnsemble:
+    def make_ensemble(self, count=3):
+        ensemble = Ensemble()
+        for seed in range(count):
+            ensemble.add(MLP(input_dim=4, num_classes=3, hidden=(6,),
+                             rng=seed), 1.0)
+        return ensemble
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            StackedEnsemble(Ensemble())
+
+    def test_predict_before_fit_raises(self):
+        stacked = StackedEnsemble(self.make_ensemble())
+        with pytest.raises(RuntimeError):
+            stacked.predict_probs(RNG.normal(size=(2, 4)))
+
+    def test_fit_and_predict_shapes(self):
+        stacked = StackedEnsemble(self.make_ensemble(), rng=0)
+        x = RNG.normal(size=(30, 4))
+        y = RNG.integers(0, 3, size=30)
+        stacked.fit(x, y, epochs=50)
+        probs = stacked.predict_probs(x)
+        assert probs.shape == (30, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert 0.0 <= stacked.evaluate(x, y) <= 1.0
+
+    def test_stacking_at_least_matches_random(self, tiny_image_split,
+                                              mlp_factory):
+        """On a real task, the fitted meta-learner must beat chance."""
+        from repro.core import EDDEConfig, EDDETrainer
+
+        config = EDDEConfig(num_models=2, gamma=0.1, beta=0.8,
+                            first_epochs=3, later_epochs=2, lr=0.05,
+                            batch_size=32)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        stacked = StackedEnsemble(result.ensemble, rng=0)
+        stacked.fit(tiny_image_split.train.x, tiny_image_split.train.y)
+        acc = stacked.evaluate(tiny_image_split.test.x, tiny_image_split.test.y)
+        assert acc > 1.5 / tiny_image_split.num_classes

@@ -1,0 +1,50 @@
+"""Dataset container invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4), num_classes=2)
+
+    def test_labels_out_of_range(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), num_classes=2)
+
+    def test_num_classes_minimum(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), num_classes=1)
+
+
+class TestOperations:
+    def setup_method(self):
+        self.dataset = Dataset(np.arange(12.0).reshape(6, 2),
+                               np.array([0, 1, 2, 0, 1, 2]),
+                               num_classes=3, name="demo")
+
+    def test_len(self):
+        assert len(self.dataset) == 6
+
+    def test_subset_values(self):
+        sub = self.dataset.subset([0, 3])
+        np.testing.assert_array_equal(sub.y, [0, 0])
+        np.testing.assert_array_equal(sub.x, [[0.0, 1.0], [6.0, 7.0]])
+        assert sub.num_classes == 3
+
+    def test_subset_allows_duplicates(self):
+        sub = self.dataset.subset([1, 1, 1])
+        assert len(sub) == 3
+        assert set(sub.y) == {1}
+
+    def test_one_hot(self):
+        encoded = self.dataset.one_hot()
+        assert encoded.shape == (6, 3)
+        np.testing.assert_array_equal(encoded.sum(axis=1), np.ones(6))
+        assert encoded[0, 0] == 1.0
+
+    def test_class_counts(self):
+        np.testing.assert_array_equal(self.dataset.class_counts(), [2, 2, 2])

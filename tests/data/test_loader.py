@@ -1,0 +1,110 @@
+"""DataLoader, bootstrap and weighted sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DataLoader, Dataset, bootstrap_sample, weighted_sample
+
+
+def make_dataset(n=20, features=3, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, features)),
+                   rng.integers(0, classes, size=n), num_classes=classes)
+
+
+class TestDataLoader:
+    def test_covers_every_sample_once(self):
+        dataset = make_dataset(23)
+        loader = DataLoader(dataset, batch_size=5, rng=0)
+        seen = np.concatenate([idx for _, _, idx in loader])
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_len(self):
+        dataset = make_dataset(23)
+        assert len(DataLoader(dataset, batch_size=5)) == 5
+        assert len(DataLoader(dataset, batch_size=5, drop_last=True)) == 4
+        assert len(DataLoader(make_dataset(20), batch_size=5)) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(23), batch_size=5, drop_last=True, rng=0)
+        sizes = [len(y) for _, y, _ in loader]
+        assert sizes == [5, 5, 5, 5]
+
+    def test_no_shuffle_is_ordered(self):
+        loader = DataLoader(make_dataset(10), batch_size=4, shuffle=False)
+        indices = np.concatenate([idx for _, _, idx in loader])
+        np.testing.assert_array_equal(indices, np.arange(10))
+
+    def test_labels_align_with_indices(self):
+        dataset = make_dataset(30)
+        loader = DataLoader(dataset, batch_size=7, rng=1)
+        for _, y, idx in loader:
+            np.testing.assert_array_equal(y, dataset.y[idx])
+
+    def test_seeded_shuffle_reproducible(self):
+        dataset = make_dataset(15)
+        order1 = np.concatenate([i for _, _, i in DataLoader(dataset, 4, rng=5)])
+        order2 = np.concatenate([i for _, _, i in DataLoader(dataset, 4, rng=5)])
+        np.testing.assert_array_equal(order1, order2)
+
+    def test_reshuffles_between_epochs(self):
+        dataset = make_dataset(50)
+        loader = DataLoader(dataset, batch_size=50, rng=3)
+        first = next(iter(loader))[2]
+        second = next(iter(loader))[2]
+        assert not np.array_equal(first, second)
+
+    def test_augment_applied(self):
+        dataset = make_dataset(8)
+        loader = DataLoader(dataset, batch_size=4, rng=0,
+                            augment=lambda x, rng: x + 100.0)
+        x, _, _ = next(iter(loader))
+        assert x.min() > 50.0
+        # Original dataset untouched.
+        assert dataset.x.min() < 50.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)
+
+
+class TestBootstrap:
+    def test_size_preserved(self):
+        sample = bootstrap_sample(make_dataset(40), rng=0)
+        assert len(sample) == 40
+
+    def test_contains_duplicates_with_high_probability(self):
+        dataset = make_dataset(100)
+        sample = bootstrap_sample(dataset, rng=0)
+        # A bootstrap of n items has ~63% unique entries.
+        unique_fraction = len(np.unique(sample.x, axis=0)) / 100
+        assert unique_fraction < 0.9
+
+
+class TestWeightedSample:
+    def test_concentrates_on_heavy_samples(self):
+        dataset = make_dataset(10)
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        sample = weighted_sample(dataset, weights, rng=0)
+        np.testing.assert_allclose(sample.x,
+                                   np.repeat(dataset.x[3:4], 10, axis=0))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_sample(make_dataset(5), np.array([1, 1, -1, 1, 1.0]))
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(ValueError):
+            weighted_sample(make_dataset(5), np.ones(3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_sampled_labels_valid(self, seed):
+        dataset = make_dataset(12)
+        weights = np.random.default_rng(seed).random(12) + 0.01
+        sample = weighted_sample(dataset, weights, rng=seed)
+        assert sample.y.min() >= 0
+        assert sample.y.max() < dataset.num_classes

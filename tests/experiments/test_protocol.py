@@ -1,0 +1,73 @@
+"""Scenario construction and budget scaling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.protocol import Scenario, build_scenario, scale
+from repro.models import MLP, ModelFactory
+
+
+class TestBuildScenario:
+    def test_cv_scenarios(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        scenario = build_scenario("c10-resnet", rng=0)
+        assert scenario.split.num_classes == 10
+        assert scenario.total_budget == scenario.ensemble_size * scenario.epochs_per_model
+        assert scenario.gamma == 0.1
+
+    def test_densenet_settings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        scenario = build_scenario("c100-densenet", rng=0)
+        assert scenario.lr == 0.2
+        assert scenario.gamma == 0.2
+
+    def test_nlp_scenario(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        scenario = build_scenario("imdb-textcnn", rng=0)
+        assert scenario.split.vocab_size == 5000
+        assert scenario.notes.get("edde_half_budget")
+        assert 0.5 < scenario.beta < 1.0  # embedding+conv fraction
+
+    def test_unknown_names(self):
+        with pytest.raises(ValueError):
+            build_scenario("mnist-lenet")
+        with pytest.raises(ValueError):
+            build_scenario("c10")
+        with pytest.raises(ValueError):
+            build_scenario("imdb-resnet")
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale() == 2.5
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale() == 1.0
+
+    def test_scaled_budgets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        doubled = build_scenario("c10-resnet", rng=0)
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        normal = build_scenario("c10-resnet", rng=0)
+        assert doubled.epochs_per_model == 2 * normal.epochs_per_model
+
+
+class TestScenarioHelpers:
+    def _scenario(self, tiny_image_split, factory):
+        return Scenario(name="t", split=tiny_image_split, factory=factory,
+                        ensemble_size=4, epochs_per_model=10,
+                        edde_first_epochs=10, edde_later_epochs=5,
+                        lr=0.1, batch_size=32, gamma=0.1, beta=0.7)
+
+    def test_edde_num_models_fills_budget(self, tiny_image_split, mlp_factory):
+        scenario = self._scenario(tiny_image_split, mlp_factory)
+        # budget 40: first 10 + 6 later models x 5 = 40
+        assert scenario.edde_num_models() == 7
+
+    def test_edde_num_models_custom_budget(self, tiny_image_split, mlp_factory):
+        scenario = self._scenario(tiny_image_split, mlp_factory)
+        assert scenario.edde_num_models(budget=20) == 3
+        assert scenario.edde_num_models(budget=10) == 1

@@ -1,0 +1,141 @@
+"""Model zoo: forward shapes, depth rules, factory/registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MLP,
+    DenseNetCIFAR,
+    ModelFactory,
+    ResNetCIFAR,
+    TextCNN,
+    available_models,
+    get_model_builder,
+    textcnn_conv_beta,
+)
+from repro.nn import cross_entropy
+
+RNG = np.random.default_rng(2)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(input_dim=12, num_classes=3, hidden=(8, 8), rng=0)
+        assert model(RNG.normal(size=(5, 12))).shape == (5, 3)
+
+    def test_flattens_images(self):
+        model = MLP(input_dim=3 * 4 * 4, num_classes=2, rng=0)
+        assert model(RNG.normal(size=(2, 3, 4, 4))).shape == (2, 2)
+
+    def test_no_hidden(self):
+        model = MLP(input_dim=5, num_classes=2, hidden=(), rng=0)
+        assert model(RNG.normal(size=(3, 5))).shape == (3, 2)
+
+
+class TestResNet:
+    def test_forward_shape(self):
+        model = ResNetCIFAR(depth=8, num_classes=7, base_width=4, rng=0)
+        assert model(RNG.normal(size=(2, 3, 10, 10))).shape == (2, 7)
+
+    def test_depth_rule(self):
+        with pytest.raises(ValueError):
+            ResNetCIFAR(depth=9)
+
+    def test_deeper_has_more_params(self):
+        small = ResNetCIFAR(depth=8, base_width=4, rng=0)
+        big = ResNetCIFAR(depth=14, base_width=4, rng=0)
+        assert big.num_parameters() > small.num_parameters()
+
+    def test_backward_runs(self):
+        model = ResNetCIFAR(depth=8, num_classes=4, base_width=4, rng=0)
+        loss = cross_entropy(model(RNG.normal(size=(3, 3, 8, 8))),
+                             np.array([0, 1, 2]))
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_stride_downsampling(self):
+        # 3 stages: input 12x12 -> 12, 6, 3 spatial; head still works.
+        model = ResNetCIFAR(depth=8, num_classes=2, base_width=4, rng=0)
+        assert model(RNG.normal(size=(1, 3, 12, 12))).shape == (1, 2)
+
+
+class TestDenseNet:
+    def test_forward_shape(self):
+        model = DenseNetCIFAR(depth=10, num_classes=6, growth=4, rng=0)
+        assert model(RNG.normal(size=(2, 3, 8, 8))).shape == (2, 6)
+
+    def test_depth_rule(self):
+        with pytest.raises(ValueError):
+            DenseNetCIFAR(depth=11)
+
+    def test_growth_increases_channels(self):
+        narrow = DenseNetCIFAR(depth=10, growth=4, rng=0)
+        wide = DenseNetCIFAR(depth=10, growth=8, rng=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_backward_runs(self):
+        model = DenseNetCIFAR(depth=10, num_classes=3, growth=4, rng=0)
+        loss = cross_entropy(model(RNG.normal(size=(2, 3, 8, 8))),
+                             np.array([0, 2]))
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_compression(self):
+        compressed = DenseNetCIFAR(depth=10, growth=6, compression=0.5, rng=0)
+        full = DenseNetCIFAR(depth=10, growth=6, compression=1.0, rng=0)
+        assert compressed.num_parameters() < full.num_parameters()
+
+
+class TestTextCNN:
+    def test_forward_shape(self):
+        model = TextCNN(vocab_size=100, num_classes=2, embedding_dim=8,
+                        filters_per_width=4, rng=0)
+        ids = RNG.integers(0, 100, size=(5, 20))
+        assert model(ids).shape == (5, 2)
+
+    def test_handles_short_sequences(self):
+        # padding = width-1 makes even length-1 inputs valid for width-5 filters
+        model = TextCNN(vocab_size=50, filter_widths=(3, 5), rng=0)
+        ids = RNG.integers(0, 50, size=(2, 5))
+        assert model(ids).shape == (2, 2)
+
+    def test_conv_beta_excludes_head_only(self):
+        model = TextCNN(vocab_size=100, rng=0)
+        beta = textcnn_conv_beta(model)
+        head = sum(p.size for _, p in model.head.named_parameters())
+        assert beta == pytest.approx(1.0 - head / model.num_parameters())
+        assert 0.5 < beta < 1.0
+
+    def test_dropout_only_in_training(self):
+        model = TextCNN(vocab_size=60, dropout=0.9, rng=0)
+        ids = RNG.integers(0, 60, size=(4, 10))
+        model.eval()
+        a = model(ids).numpy()
+        b = model(ids).numpy()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFactory:
+    def test_build_with_seed_reproducible(self):
+        factory = ModelFactory(MLP, input_dim=4, num_classes=2, hidden=(6,))
+        m1, m2 = factory.build(rng=3), factory.build(rng=3)
+        np.testing.assert_array_equal(m1.body._layers[0].weight.data,
+                                      m2.body._layers[0].weight.data)
+
+    def test_build_different_seeds_differ(self):
+        factory = ModelFactory(MLP, input_dim=4, num_classes=2, hidden=(6,))
+        m1, m2 = factory.build(rng=1), factory.build(rng=2)
+        assert not np.array_equal(m1.body._layers[0].weight.data,
+                                  m2.body._layers[0].weight.data)
+
+    def test_registry(self):
+        assert set(available_models()) >= {"mlp", "resnet", "densenet", "textcnn"}
+        assert get_model_builder("resnet") is ResNetCIFAR
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_builder("transformer-9000")
+
+    def test_from_name(self):
+        factory = ModelFactory.from_name("mlp", input_dim=3, num_classes=2)
+        assert isinstance(factory.build(rng=0), MLP)

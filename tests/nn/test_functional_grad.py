@@ -1,0 +1,80 @@
+"""Gradient checks for the fused conv/pool primitives."""
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.tensor import Tensor, gradcheck
+
+RNG = np.random.default_rng(11)
+
+
+def t(shape, scale=0.5):
+    return Tensor(RNG.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestConv2dGrad:
+    def test_basic(self):
+        assert gradcheck(lambda a, w, b: F.conv2d(a, w, b),
+                         [t((2, 2, 5, 5)), t((3, 2, 3, 3)), t((3,))])
+
+    def test_with_padding(self):
+        assert gradcheck(lambda a, w, b: F.conv2d(a, w, b, padding=1),
+                         [t((2, 2, 4, 4)), t((3, 2, 3, 3)), t((3,))])
+
+    def test_with_stride(self):
+        assert gradcheck(lambda a, w, b: F.conv2d(a, w, b, stride=2, padding=1),
+                         [t((1, 2, 6, 6)), t((2, 2, 3, 3)), t((2,))])
+
+    def test_no_bias(self):
+        assert gradcheck(lambda a, w: F.conv2d(a, w, None, padding=1),
+                         [t((1, 3, 4, 4)), t((2, 3, 3, 3))])
+
+    def test_1x1_kernel(self):
+        assert gradcheck(lambda a, w, b: F.conv2d(a, w, b),
+                         [t((2, 3, 3, 3)), t((4, 3, 1, 1)), t((4,))])
+
+
+class TestConv1dGrad:
+    def test_basic(self):
+        assert gradcheck(lambda a, w, b: F.conv1d(a, w, b),
+                         [t((2, 3, 8)), t((4, 3, 3)), t((4,))])
+
+    def test_with_padding(self):
+        assert gradcheck(lambda a, w, b: F.conv1d(a, w, b, padding=2),
+                         [t((2, 2, 6)), t((3, 2, 3)), t((3,))])
+
+    def test_with_stride(self):
+        assert gradcheck(lambda a, w: F.conv1d(a, w, None, stride=2),
+                         [t((1, 2, 9)), t((2, 2, 3))])
+
+
+class TestPoolingGrad:
+    def test_max_pool(self):
+        # Use well-separated values so the argmax is stable under eps.
+        data = np.arange(32.0).reshape(1, 2, 4, 4)
+        RNG.shuffle(data.reshape(-1))
+        assert gradcheck(lambda a: F.max_pool2d(a, 2),
+                         [Tensor(data, requires_grad=True)])
+
+    def test_avg_pool(self):
+        assert gradcheck(lambda a: F.avg_pool2d(a, 2), [t((2, 2, 4, 4))])
+
+    def test_avg_pool_stride(self):
+        assert gradcheck(lambda a: F.avg_pool2d(a, 2, stride=1),
+                         [t((1, 2, 4, 4))])
+
+    def test_global_avg_pool(self):
+        assert gradcheck(lambda a: F.global_avg_pool2d(a), [t((2, 3, 4, 4))])
+
+    def test_max_over_time(self):
+        data = np.arange(24.0).reshape(2, 3, 4)
+        RNG.shuffle(data.reshape(-1))
+        assert gradcheck(lambda a: F.max_over_time(a),
+                         [Tensor(data, requires_grad=True)])
+
+
+class TestEmbeddingGrad:
+    def test_lookup(self):
+        weight = t((10, 4))
+        ids = np.array([[0, 3, 3], [7, 1, 0]])
+        assert gradcheck(lambda w: F.embedding_lookup(w, ids), [weight])

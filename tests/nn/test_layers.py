@@ -1,0 +1,143 @@
+"""Shape and behaviour tests for every concrete layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(3)
+
+
+def x(*shape):
+    return Tensor(RNG.normal(size=shape))
+
+
+class TestLinear:
+    def test_shape(self):
+        assert nn.Linear(4, 7, rng=0)(x(5, 4)).shape == (5, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 7, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer(x(2, 4)).shape == (2, 7)
+
+    def test_reinitialize_changes_weights(self):
+        layer = nn.Linear(4, 4, rng=0)
+        before = layer.weight.data.copy()
+        layer.reinitialize(np.random.default_rng(99))
+        assert not np.allclose(before, layer.weight.data)
+
+
+class TestConv2d:
+    def test_same_padding_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1, rng=0)
+        assert layer(x(2, 3, 10, 10)).shape == (2, 8, 10, 10)
+
+    def test_stride_halves(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        assert layer(x(2, 3, 10, 10)).shape == (2, 8, 5, 5)
+
+    def test_1x1(self):
+        layer = nn.Conv2d(4, 2, 1, rng=0)
+        assert layer(x(2, 4, 6, 6)).shape == (2, 2, 6, 6)
+
+    def test_channel_mismatch_raises(self):
+        layer = nn.Conv2d(3, 8, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer(x(2, 5, 10, 10))
+
+    def test_matches_manual_convolution(self):
+        layer = nn.Conv2d(1, 1, 2, bias=False, rng=0)
+        layer.weight.data[...] = np.arange(4.0).reshape(1, 1, 2, 2)
+        image = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = layer(Tensor(image)).numpy()
+        # manual 2x2 valid conv at (0,0): 0*0 + 1*1 + 2*3 + 3*4 = 19
+        assert out[0, 0, 0, 0] == pytest.approx(19.0)
+        assert out.shape == (1, 1, 2, 2)
+
+
+class TestConv1d:
+    def test_shape_with_padding(self):
+        layer = nn.Conv1d(4, 6, 3, padding=2, rng=0)
+        assert layer(x(2, 4, 10)).shape == (2, 6, 12)
+
+    def test_stride(self):
+        layer = nn.Conv1d(2, 2, 2, stride=2, rng=0)
+        assert layer(x(1, 2, 8)).shape == (1, 2, 4)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        layer = nn.Embedding(50, 8, rng=0)
+        ids = RNG.integers(0, 50, size=(3, 7))
+        assert layer(ids).shape == (3, 7, 8)
+
+    def test_gradient_scatters(self):
+        layer = nn.Embedding(10, 4, rng=0)
+        ids = np.array([[1, 1, 2]])
+        layer(ids).sum().backward()
+        grad = layer.weight.grad
+        np.testing.assert_allclose(grad[1], 2.0 * np.ones(4))
+        np.testing.assert_allclose(grad[2], np.ones(4))
+        np.testing.assert_allclose(grad[0], np.zeros(4))
+
+
+class TestPooling:
+    def test_max_pool(self):
+        layer = nn.MaxPool2d(2)
+        assert layer(x(2, 3, 8, 8)).shape == (2, 3, 4, 4)
+
+    def test_max_pool_picks_maximum(self):
+        data = np.zeros((1, 1, 2, 2))
+        data[0, 0, 1, 1] = 5.0
+        out = nn.MaxPool2d(2)(Tensor(data))
+        assert out.numpy()[0, 0, 0, 0] == 5.0
+
+    def test_avg_pool_value(self):
+        data = np.arange(4.0).reshape(1, 1, 2, 2)
+        out = nn.AvgPool2d(2)(Tensor(data))
+        assert out.numpy()[0, 0, 0, 0] == pytest.approx(1.5)
+
+    def test_global_avg_pool(self):
+        out = nn.GlobalAvgPool2d()(x(2, 5, 4, 4))
+        assert out.shape == (2, 5)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.5, rng=0)
+        layer.eval()
+        data = x(4, 10)
+        np.testing.assert_array_equal(layer(data).numpy(), data.numpy())
+
+    def test_train_mode_zeroes_some(self):
+        layer = nn.Dropout(0.5, rng=0)
+        out = layer(Tensor(np.ones((10, 100)))).numpy()
+        assert (out == 0).any()
+        # Inverted scaling keeps the expectation ~1.
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_zero_probability_identity(self):
+        layer = nn.Dropout(0.0)
+        data = x(3, 3)
+        np.testing.assert_array_equal(layer(data).numpy(), data.numpy())
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(nn.Linear(2, 3, rng=0), nn.ReLU(),
+                              nn.Linear(3, 1, rng=0))
+        assert model(x(4, 2)).shape == (4, 1)
+        assert len(model) == 3
+
+    def test_flatten(self):
+        assert nn.Flatten()(x(2, 3, 4)).shape == (2, 12)
+
+    def test_relu_tanh_modules(self):
+        assert nn.ReLU()(Tensor(np.array([-1.0, 1.0]))).numpy()[0] == 0.0
+        assert abs(nn.Tanh()(Tensor(np.array([100.0]))).numpy()[0] - 1.0) < 1e-9

@@ -1,0 +1,108 @@
+"""Module/Parameter registration, traversal and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 8, rng=0)
+        self.second = nn.Linear(8, 2, rng=1)
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["first.weight", "first.bias",
+                         "second.weight", "second.bias"]
+
+    def test_order_follows_construction(self):
+        # beta-transfer relies on input-to-output ordering.
+        model = nn.Sequential(nn.Linear(2, 3, rng=0), nn.ReLU(),
+                              nn.Linear(3, 4, rng=0))
+        names = [name for name, _ in model.named_parameters()]
+        assert names[0].startswith("0.") and names[-1].startswith("2.")
+
+    def test_add_module_dynamic(self):
+        model = nn.Module()
+        model.add_module("layer7", nn.Linear(2, 2, rng=0))
+        assert any(name.startswith("layer7.") for name, _ in model.named_parameters())
+
+    def test_num_parameters(self):
+        model = nn.Linear(4, 3, rng=0)
+        assert model.num_parameters() == 4 * 3 + 3
+
+    def test_modules_iterates_children(self):
+        model = TwoLayer()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["TwoLayer", "Linear", "Linear"]
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        source = TwoLayer()
+        target = TwoLayer()
+        target.load_state_dict(source.state_dict())
+        for (_, p1), (_, p2) in zip(source.named_parameters(),
+                                    target.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.allclose(model.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["second.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_includes_batchnorm_buffers(self):
+        model = nn.Sequential(nn.Linear(3, 4, rng=0), nn.BatchNorm1d(4))
+        model(Tensor(np.random.default_rng(0).normal(size=(8, 3))))
+        state = model.state_dict()
+        assert "1.running_mean" in state
+        assert "1.running_var" in state
+
+    def test_buffer_round_trip(self):
+        bn1 = nn.BatchNorm1d(3)
+        bn1(Tensor(np.random.default_rng(0).normal(size=(16, 3))))
+        bn2 = nn.BatchNorm1d(3)
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_array_equal(bn1._buffers["running_mean"],
+                                      bn2._buffers["running_mean"])

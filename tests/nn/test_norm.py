@@ -1,0 +1,84 @@
+"""BatchNorm behaviour: normalisation, running stats, eval mode, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+RNG = np.random.default_rng(5)
+
+
+class TestBatchNorm1d:
+    def test_normalises_batch(self):
+        bn = nn.BatchNorm1d(4)
+        data = RNG.normal(5.0, 3.0, size=(64, 4))
+        out = bn(Tensor(data)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_affect_output(self):
+        bn = nn.BatchNorm1d(2)
+        bn.gamma.data[...] = 2.0
+        bn.beta.data[...] = 1.0
+        out = bn(Tensor(RNG.normal(size=(32, 2)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-7)
+
+    def test_running_stats_update(self):
+        bn = nn.BatchNorm1d(3)
+        data = RNG.normal(2.0, 1.0, size=(128, 3))
+        for _ in range(30):
+            bn(Tensor(data))
+        np.testing.assert_allclose(bn._buffers["running_mean"],
+                                   data.mean(axis=0), atol=0.2)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        for _ in range(50):
+            bn(Tensor(RNG.normal(3.0, 2.0, size=(64, 2))))
+        bn.eval()
+        # A wildly different batch must be normalised by the *running* stats.
+        out = bn(Tensor(np.full((4, 2), 3.0))).numpy()
+        np.testing.assert_allclose(out, 0.0, atol=0.2)
+
+    def test_gradcheck_train_mode(self):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor(RNG.normal(size=(6, 3)), requires_grad=True)
+
+        def run(data, gamma, beta):
+            bn.gamma = gamma if isinstance(gamma, nn.Parameter) else bn.gamma
+            return bn(data)
+
+        assert gradcheck(lambda a: bn(a), [x], atol=1e-4)
+
+    def test_gamma_gradient_flows(self):
+        bn = nn.BatchNorm1d(3)
+        out = bn(Tensor(RNG.normal(size=(8, 3))))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestBatchNorm2d:
+    def test_normalises_per_channel(self):
+        bn = nn.BatchNorm2d(3)
+        data = RNG.normal(4.0, 2.0, size=(16, 3, 5, 5))
+        out = bn(Tensor(data)).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_shape_preserved(self):
+        bn = nn.BatchNorm2d(4)
+        assert bn(Tensor(RNG.normal(size=(2, 4, 6, 6)))).shape == (2, 4, 6, 6)
+
+    def test_gradcheck(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(RNG.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(lambda a: bn(a), [x], atol=1e-4)
+
+    def test_reinitialize_resets(self):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(RNG.normal(2.0, 1.0, size=(8, 2, 4, 4))))
+        bn.gamma.data[...] = 5.0
+        bn.reinitialize(RNG)
+        np.testing.assert_allclose(bn.gamma.data, 1.0)
+        np.testing.assert_allclose(bn._buffers["running_mean"], 0.0)

@@ -1,0 +1,72 @@
+"""Hypothesis property tests for layer shape arithmetic and invariances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(5, 12),
+       st.integers(1, 3), st.integers(0, 2), st.integers(1, 2))
+def test_conv2d_output_shape_formula(batch, channels, size, kernel,
+                                     padding, stride):
+    filters = 3
+    x = Tensor(np.zeros((batch, channels, size, size)))
+    w = Tensor(np.zeros((filters, channels, kernel, kernel)))
+    out = F.conv2d(x, w, None, stride=stride, padding=padding)
+    expected = (size + 2 * padding - kernel) // stride + 1
+    assert out.shape == (batch, filters, expected, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 4), st.integers(6, 20),
+       st.integers(1, 4), st.integers(0, 3))
+def test_conv1d_output_shape_formula(batch, channels, length, kernel, padding):
+    filters = 2
+    x = Tensor(np.zeros((batch, channels, length)))
+    w = Tensor(np.zeros((filters, channels, kernel)))
+    out = F.conv1d(x, w, None, padding=padding)
+    expected = length + 2 * padding - kernel + 1
+    assert out.shape == (batch, filters, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 4), st.integers(1, 3), st.integers(4, 12))
+def test_pooling_shapes_consistent(batch, channels, size):
+    x = Tensor(np.random.default_rng(0).normal(size=(batch, channels,
+                                                     size, size)))
+    out_max = F.max_pool2d(x, 2)
+    out_avg = F.avg_pool2d(x, 2)
+    assert out_max.shape == out_avg.shape == (batch, channels,
+                                              size // 2, size // 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 16), st.integers(2, 6))
+def test_avg_pool_global_equals_mean(batch, channels):
+    data = np.random.default_rng(1).normal(size=(batch, channels, 4, 4))
+    pooled = F.global_avg_pool2d(Tensor(data)).numpy()
+    np.testing.assert_allclose(pooled, data.mean(axis=(2, 3)), atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(2, 8))
+def test_linear_eval_deterministic(batch, features):
+    layer = nn.Linear(features, 3, rng=0)
+    x = Tensor(np.random.default_rng(2).normal(size=(batch, features)))
+    np.testing.assert_array_equal(layer(x).numpy(), layer(x).numpy())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 12))
+def test_max_pool_dominates_avg_pool(size):
+    """max-pool >= avg-pool elementwise, for any input."""
+    data = np.random.default_rng(3).normal(size=(1, 2, size - size % 2,
+                                                 size - size % 2))
+    mx = F.max_pool2d(Tensor(data), 2).numpy()
+    av = F.avg_pool2d(Tensor(data), 2).numpy()
+    assert np.all(mx >= av - 1e-12)

@@ -1,0 +1,75 @@
+"""Learning-rate schedule tests, including the paper's protocols."""
+
+import math
+
+import pytest
+
+from repro.optim import ConstantLR, CosineAnnealingLR, SnapshotCyclicLR, StepLR
+
+
+class TestStepLR:
+    def test_paper_protocol(self):
+        # "divide by 10 at 50% and 75% of total epochs" (Sec. V-A).
+        schedule = StepLR(0.1, total_epochs=100)
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+        assert schedule.lr_at(49) == pytest.approx(0.1)
+        assert schedule.lr_at(50) == pytest.approx(0.01)
+        assert schedule.lr_at(74) == pytest.approx(0.01)
+        assert schedule.lr_at(75) == pytest.approx(0.001)
+        assert schedule.lr_at(99) == pytest.approx(0.001)
+
+    def test_custom_milestones(self):
+        schedule = StepLR(1.0, total_epochs=10, milestones=(0.2,), factor=2.0)
+        assert schedule.lr_at(1) == pytest.approx(1.0)
+        assert schedule.lr_at(2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(0.1, total_epochs=0)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        schedule = CosineAnnealingLR(0.1, total_epochs=50)
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+        assert schedule.lr_at(49) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineAnnealingLR(0.1, total_epochs=20)
+        rates = [schedule.lr_at(e) for e in range(20)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_min_lr(self):
+        schedule = CosineAnnealingLR(0.1, total_epochs=10, min_lr=0.01)
+        assert schedule.lr_at(9) == pytest.approx(0.01)
+
+    def test_single_epoch(self):
+        assert CosineAnnealingLR(0.1, total_epochs=1).lr_at(0) == pytest.approx(0.1)
+
+
+class TestSnapshotCyclic:
+    def test_loshchilov_hutter_formula(self):
+        schedule = SnapshotCyclicLR(0.2, cycle_length=10)
+        for epoch in range(30):
+            expected = 0.1 * (math.cos(math.pi * (epoch % 10) / 10) + 1.0)
+            assert schedule.lr_at(epoch) == pytest.approx(expected)
+
+    def test_restarts_at_cycle_boundary(self):
+        schedule = SnapshotCyclicLR(0.1, cycle_length=5)
+        assert schedule.lr_at(5) == pytest.approx(0.1)
+        assert schedule.lr_at(4) < 0.02
+
+    def test_cycle_end_detection(self):
+        schedule = SnapshotCyclicLR(0.1, cycle_length=5)
+        ends = [e for e in range(15) if schedule.is_cycle_end(e)]
+        assert ends == [4, 9, 14]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotCyclicLR(0.1, cycle_length=0)
+
+
+class TestConstant:
+    def test_constant(self):
+        schedule = ConstantLR(0.05)
+        assert schedule.lr_at(0) == schedule.lr_at(1000) == 0.05

@@ -1,0 +1,83 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor
+from repro.tensor.ops import l2norm, log_softmax, softmax
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def matrices(min_rows=1, max_rows=5, min_cols=2, max_cols=6):
+    shapes = st.tuples(st.integers(min_rows, max_rows),
+                       st.integers(min_cols, max_cols))
+    return shapes.flatmap(lambda s: arrays(np.float64, s, elements=finite_floats))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_softmax_rows_are_distributions(data):
+    probs = softmax(Tensor(data), axis=1).numpy()
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_log_softmax_matches_log_of_softmax(data):
+    a = log_softmax(Tensor(data), axis=1).numpy()
+    b = np.log(softmax(Tensor(data), axis=1).numpy() + 1e-300)
+    np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_softmax_shift_invariance(data):
+    a = softmax(Tensor(data), axis=1).numpy()
+    b = softmax(Tensor(data + 100.0), axis=1).numpy()
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_l2norm_nonnegative_and_bounded_by_l1(data):
+    norms = l2norm(Tensor(data), axis=1).numpy()
+    l1 = np.abs(data).sum(axis=1)
+    assert np.all(norms >= 0)
+    assert np.all(norms <= l1 + 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_addition_commutes(data):
+    a = Tensor(data)
+    b = Tensor(data[::-1].copy())
+    np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_sum_then_backward_gives_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), finite_floats)
+def test_linearity_of_gradients(data, scale):
+    x1 = Tensor(data, requires_grad=True)
+    (x1 * scale).sum().backward()
+    np.testing.assert_allclose(x1.grad, np.full_like(data, scale), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(min_cols=2, max_cols=4))
+def test_reshape_preserves_grad_mass(data):
+    x = Tensor(data, requires_grad=True)
+    x.reshape(-1).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))

@@ -1,0 +1,53 @@
+"""Command-line interface behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(
+            ["train", "--scenario", "c10-resnet"])
+        assert args.method == "edde"
+        assert args.seed == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--scenario", "c10-resnet", "--method", "xgboost"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "edde" in output
+        assert "c100-resnet" in output
+
+    def test_train_tiny(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "0.13")  # 1-epoch budgets
+        save_path = str(tmp_path / "ens.npz")
+        code = main(["train", "--scenario", "c10-resnet", "--method", "edde",
+                     "--save", save_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ensemble accuracy" in output
+        assert "saved ensemble" in output
+
+    def test_compare_tiny(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "0.13")
+        code = main(["compare", "--scenario", "c10-resnet",
+                     "--methods", "single,edde"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Single Model" in output
+        assert "EDDE" in output

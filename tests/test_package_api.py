@@ -1,0 +1,42 @@
+"""Public API surface: everything advertised in __all__ must import."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.data",
+    "repro.models",
+    "repro.core",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists missing '{name}'"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_quickstart_docstring_names_exist():
+    """The README/package quickstart imports must stay valid."""
+    from repro import EDDEConfig, EDDETrainer, Ensemble, FitResult, ModelFactory
+    from repro.data import make_cifar10_like
+    from repro.models import ResNetCIFAR
+
+    assert all([EDDEConfig, EDDETrainer, Ensemble, FitResult, ModelFactory,
+                make_cifar10_like, ResNetCIFAR])
