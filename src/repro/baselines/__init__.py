@@ -1,6 +1,6 @@
 """The paper's baseline ensemble methods, behind one common interface."""
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
+from repro.baselines.base import BaselineConfig, EnsembleMethod
 from repro.baselines.single import SingleModel
 from repro.baselines.bagging import Bagging
 from repro.baselines.adaboost_m1 import AdaBoostM1
@@ -22,7 +22,6 @@ METHOD_CLASSES = {
 __all__ = [
     "BaselineConfig",
     "EnsembleMethod",
-    "IncrementalEvaluator",
     "SingleModel",
     "Bagging",
     "AdaBoostM1",

@@ -11,14 +11,14 @@ multiclass α positive whenever the model beats chance.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
+from repro.baselines.base import EnsembleMethod
+from repro.core.callbacks import Callback
+from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
-from repro.core.trainer import train_model
 from repro.data.dataset import Dataset
 from repro.data.loader import weighted_sample
 from repro.nn import predict_probs
@@ -31,46 +31,46 @@ class AdaBoostM1(EnsembleMethod):
     name = "AdaBoost.M1"
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         n = len(train_set)
         k = train_set.num_classes
-        weights = np.full(n, 1.0 / n)
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
-        cumulative = 0
+        state = {"weights": np.full(n, 1.0 / n)}
 
-        for index in range(self.config.num_models):
+        def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
             model = self.factory.build(rng=member_rng)
-            sample = weighted_sample(train_set, weights, rng=member_rng)
-            logger = train_model(model, sample, self.config.training_config(),
-                                 rng=member_rng)
-            cumulative += self.config.epochs_per_model
+            sample = weighted_sample(train_set, state["weights"],
+                                     rng=member_rng)
+            logger = engine.train_member(model, sample,
+                                         self.config.training_config(),
+                                         rng=member_rng)
 
-            predictions = predict_probs(model, train_set.x).argmax(axis=1)
-            misclassified = predictions != train_set.y
-            epsilon = float(np.clip(weights[misclassified].sum(), _EPS, 1 - _EPS))
+            # The single train-set evaluation of the new member; cached for
+            # any later consumer via the engine's prediction store.
+            train_probs = predict_probs(model, train_set.x)
+            misclassified = train_probs.argmax(axis=1) != train_set.y
+            weights = state["weights"]
+            epsilon = float(np.clip(weights[misclassified].sum(),
+                                    _EPS, 1 - _EPS))
             # SAMME multiclass model weight; chance level is 1 - 1/k.
             alpha = np.log((1 - epsilon) / epsilon) + np.log(k - 1)
             if alpha <= 0:
                 # Worse than chance: the classic prescription resets the
                 # distribution; keep the model with a tiny weight so the
                 # ensemble size matches the budgeted T.
-                weights = np.full(n, 1.0 / n)
+                state["weights"] = np.full(n, 1.0 / n)
                 alpha = 1e-3
             else:
                 weights = weights * np.exp(alpha * misclassified)
-                weights /= weights.sum()
+                state["weights"] = weights / weights.sum()
 
-            test_accuracy = evaluator.add(model, alpha)
-            ensemble.add(model, alpha)
-            self._record(result, evaluator, index, float(alpha),
-                         self.config.epochs_per_model, cumulative,
-                         logger.last("train_accuracy"), test_accuracy,
-                         epsilon=epsilon)
+            return RoundOutcome(model=model, alpha=float(alpha),
+                                epochs=self.config.epochs_per_model,
+                                train_accuracy=logger.last("train_accuracy"),
+                                extras={"epsilon": epsilon},
+                                precomputed={"train": train_probs})
 
-        result.total_epochs = cumulative
-        result.final_accuracy = evaluator.ensemble_accuracy()
-        return result
+        engine = self.engine(train_set, test_set, callbacks, cache_train=True)
+        return engine.run(self.config.num_models, round_fn)

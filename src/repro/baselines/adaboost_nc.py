@@ -17,20 +17,25 @@ with λ controlling the diversity pressure (the original paper sweeps λ;
 trains a fresh randomly-initialised network on a ``D_t`` resample; the
 ``transfer`` flag reproduces Table VI's "AdaBoost.NC (transfer)" variant
 by initialising each new model with *all* of the previous model's weights.
+
+The penalty needs every member's train-set outputs — they come straight
+from the engine's prediction cache, so each member is still evaluated on
+the training set exactly once over the whole fit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
+from repro.baselines.base import BaselineConfig, EnsembleMethod
+from repro.core.callbacks import Callback
 from repro.core.diversity import correctness_sign
-from repro.core.ensemble import Ensemble, average_probs
+from repro.core.engine import EnsembleEngine, RoundOutcome
+from repro.core.ensemble import average_probs
 from repro.core.results import FitResult
-from repro.core.trainer import train_model
 from repro.data.dataset import Dataset
 from repro.data.loader import weighted_sample
 from repro.nn import predict_probs
@@ -54,59 +59,57 @@ class AdaBoostNC(EnsembleMethod):
         super().__init__(factory, config or AdaBoostNCConfig())
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         config: AdaBoostNCConfig = self.config
         n = len(train_set)
-        weights = np.full(n, 1.0 / n)
-        ensemble = Ensemble()
-        result = FitResult(method=self.name if not config.transfer
-                           else "AdaBoost.NC (transfer)", ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
-        cumulative = 0
+        state = {"weights": np.full(n, 1.0 / n), "previous_model": None}
 
-        member_train_probs = []
-        alphas = []
-        previous_model = None
-
-        for index in range(self.config.num_models):
+        def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
             model = self.factory.build(rng=member_rng)
-            if config.transfer and previous_model is not None:
-                model.load_state_dict(previous_model.state_dict())
-            sample = weighted_sample(train_set, weights, rng=member_rng)
-            logger = train_model(model, sample, self.config.training_config(),
-                                 rng=member_rng)
-            cumulative += self.config.epochs_per_model
+            if config.transfer and state["previous_model"] is not None:
+                model.load_state_dict(state["previous_model"].state_dict())
+            sample = weighted_sample(train_set, state["weights"],
+                                     rng=member_rng)
+            logger = engine.train_member(model, sample,
+                                         self.config.training_config(),
+                                         rng=member_rng)
 
             train_probs = predict_probs(model, train_set.x)
-            member_train_probs.append(train_probs)
-            predictions = train_probs.argmax(axis=1)
-            misclassified = predictions != train_set.y
-            epsilon = float(np.clip(weights[misclassified].sum(), _EPS, 1 - _EPS))
+            misclassified = train_probs.argmax(axis=1) != train_set.y
+            weights = state["weights"]
+            epsilon = float(np.clip(weights[misclassified].sum(),
+                                    _EPS, 1 - _EPS))
             alpha = float(0.5 * np.log((1 - epsilon) / epsilon)
                           + 0.5 * np.log(train_set.num_classes - 1))
             alpha = max(alpha, 1e-3)
-            alphas.append(alpha)
 
+            # All prior members' train outputs are cached; only the new
+            # member's (computed above) completes the penalty inputs.
+            member_train_probs = engine.cache.member_probs_list("train") \
+                + [train_probs]
+            alphas = engine.cache.alphas + [alpha]
             penalty = self._penalty(member_train_probs, alphas, train_set.y)
             weights = weights * (penalty ** config.penalty_lambda) \
                 * np.exp(alpha * misclassified)
             weights = np.clip(weights, _EPS, None)
-            weights /= weights.sum()
+            state["weights"] = weights / weights.sum()
+            state["previous_model"] = model
 
-            test_accuracy = evaluator.add(model, alpha)
-            ensemble.add(model, alpha)
-            previous_model = model
-            self._record(result, evaluator, index, alpha,
-                         self.config.epochs_per_model, cumulative,
-                         logger.last("train_accuracy"), test_accuracy,
-                         epsilon=epsilon,
-                         mean_penalty=float(penalty.mean()))
+            return RoundOutcome(model=model, alpha=alpha,
+                                epochs=self.config.epochs_per_model,
+                                train_accuracy=logger.last("train_accuracy"),
+                                extras={"epsilon": epsilon,
+                                        "mean_penalty": float(penalty.mean())},
+                                precomputed={"train": train_probs})
 
-        result.total_epochs = cumulative
-        result.final_accuracy = evaluator.ensemble_accuracy()
-        return result
+        engine = self.engine(
+            train_set, test_set, callbacks, cache_train=True,
+            method=self.name if not config.transfer
+            else "AdaBoost.NC (transfer)")
+        return engine.run(self.config.num_models, round_fn)
 
     @staticmethod
     def _penalty(member_train_probs, alphas, labels) -> np.ndarray:

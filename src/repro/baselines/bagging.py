@@ -9,12 +9,12 @@ package for completeness.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
+from repro.baselines.base import EnsembleMethod
+from repro.core.callbacks import Callback
+from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
-from repro.core.trainer import train_model
 from repro.data.dataset import Dataset
 from repro.data.loader import bootstrap_sample
 from repro.utils.rng import RngLike, new_rng, spawn_rng
@@ -24,26 +24,20 @@ class Bagging(EnsembleMethod):
     name = "Bagging"
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
-        cumulative = 0
 
-        for index in range(self.config.num_models):
+        def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
             model = self.factory.build(rng=member_rng)
             sample = bootstrap_sample(train_set, rng=member_rng)
-            logger = train_model(model, sample, self.config.training_config(),
-                                 rng=member_rng)
-            cumulative += self.config.epochs_per_model
-            test_accuracy = evaluator.add(model, 1.0)
-            ensemble.add(model, 1.0)
-            self._record(result, evaluator, index, 1.0,
-                         self.config.epochs_per_model, cumulative,
-                         logger.last("train_accuracy"), test_accuracy)
+            logger = engine.train_member(model, sample,
+                                         self.config.training_config(),
+                                         rng=member_rng)
+            return RoundOutcome(model=model, alpha=1.0,
+                                epochs=self.config.epochs_per_model,
+                                train_accuracy=logger.last("train_accuracy"))
 
-        result.total_epochs = cumulative
-        result.final_accuracy = evaluator.ensemble_accuracy()
-        return result
+        engine = self.engine(train_set, test_set, callbacks)
+        return engine.run(self.config.num_models, round_fn)

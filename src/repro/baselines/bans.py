@@ -14,16 +14,15 @@ EDDE pushes the student *away from* the ensemble.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
+from repro.baselines.base import BaselineConfig, EnsembleMethod
+from repro.core.callbacks import Callback
+from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
-from repro.core.trainer import train_model
 from repro.data.dataset import Dataset
-from repro.nn import predict_probs
 from repro.nn.losses import distillation_loss
 from repro.utils.rng import RngLike, new_rng, spawn_rng
 
@@ -43,33 +42,28 @@ class BANs(EnsembleMethod):
         super().__init__(factory, config or BANsConfig())
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         config: BANsConfig = self.config
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
-        cumulative = 0
-        teacher_probs = None
 
-        for index in range(config.num_models):
+        def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
             model = self.factory.build(rng=member_rng)
+            # Teacher targets come from the cache: the previous generation's
+            # train-set outputs were stored when it joined the ensemble.
+            teacher_probs = (engine.cache.member_probs("train")
+                             if index > 0 else None)
             loss_fn = self._make_loss(teacher_probs, config)
-            logger = train_model(model, train_set, config.training_config(),
-                                 loss_fn=loss_fn, rng=member_rng)
-            cumulative += config.epochs_per_model
+            logger = engine.train_member(model, train_set,
+                                         config.training_config(),
+                                         loss_fn=loss_fn, rng=member_rng)
+            return RoundOutcome(model=model, alpha=1.0,
+                                epochs=config.epochs_per_model,
+                                train_accuracy=logger.last("train_accuracy"))
 
-            teacher_probs = predict_probs(model, train_set.x)
-            test_accuracy = evaluator.add(model, 1.0)
-            ensemble.add(model, 1.0)
-            self._record(result, evaluator, index, 1.0,
-                         config.epochs_per_model, cumulative,
-                         logger.last("train_accuracy"), test_accuracy)
-
-        result.total_epochs = cumulative
-        result.final_accuracy = evaluator.ensemble_accuracy()
-        return result
+        engine = self.engine(train_set, test_set, callbacks, cache_train=True)
+        return engine.run(config.num_models, round_fn)
 
     @staticmethod
     def _make_loss(teacher_probs, config: BANsConfig):

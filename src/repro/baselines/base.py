@@ -4,24 +4,23 @@ All baselines share one interface: ``method.fit(train_set, test_set, rng)``
 returning a :class:`~repro.core.results.FitResult`, so the benchmark
 harnesses can sweep methods uniformly (Tables II/III, Fig. 7).
 
-:class:`IncrementalEvaluator` caches each member's softmax outputs on the
-test set so the ensemble-accuracy-after-every-member curve costs one model
-evaluation per member instead of re-running the whole ensemble.
+The round loop — member records, the running Fig. 7 curve, per-round
+timing, and the member-prediction cache that keeps the curve at one model
+evaluation per member — lives in :class:`~repro.core.engine.EnsembleEngine`;
+:meth:`EnsembleMethod.engine` builds one wired to this baseline's config.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
-import numpy as np
-
-from repro.core.ensemble import average_probs
-from repro.core.results import CurvePoint, FitResult, MemberRecord
+from repro.core.callbacks import Callback
+from repro.core.engine import EnsembleEngine
+from repro.core.results import FitResult
 from repro.core.trainer import TrainingConfig
 from repro.data.dataset import Dataset
 from repro.models.factory import ModelFactory
-from repro.nn import accuracy, predict_probs
 from repro.utils.rng import RngLike
 
 
@@ -61,31 +60,6 @@ class BaselineConfig:
         return self.num_models * self.epochs_per_model
 
 
-class IncrementalEvaluator:
-    """Caches member test-set outputs for cheap running ensemble accuracy."""
-
-    def __init__(self, test_set: Optional[Dataset]):
-        self.test_set = test_set
-        self.member_probs: List[np.ndarray] = []
-        self.alphas: List[float] = []
-
-    def add(self, model, alpha: float = 1.0) -> float:
-        """Register a member; returns its individual test accuracy (nan if
-        no test set was provided)."""
-        if self.test_set is None:
-            return float("nan")
-        probs = predict_probs(model, self.test_set.x)
-        self.member_probs.append(probs)
-        self.alphas.append(alpha)
-        return accuracy(probs, self.test_set.y)
-
-    def ensemble_accuracy(self) -> float:
-        if self.test_set is None or not self.member_probs:
-            return float("nan")
-        combined = average_probs(self.member_probs, self.alphas)
-        return accuracy(combined, self.test_set.y)
-
-
 class EnsembleMethod:
     """Abstract base: subclasses implement :meth:`fit`."""
 
@@ -96,20 +70,22 @@ class EnsembleMethod:
         self.config = config
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         raise NotImplementedError
 
-    def _record(self, result: FitResult, evaluator: IncrementalEvaluator,
-                index: int, alpha: float, epochs: int, cumulative: int,
-                train_accuracy: float, test_accuracy: float,
-                **extras) -> None:
-        """Append member record + curve point in one step."""
-        result.members.append(MemberRecord(
-            index=index, alpha=alpha, epochs=epochs,
-            train_accuracy=train_accuracy, test_accuracy=test_accuracy,
-            extras=extras,
-        ))
-        ensemble_accuracy = evaluator.ensemble_accuracy()
-        if not np.isnan(ensemble_accuracy):
-            result.curve.append(CurvePoint(cumulative, ensemble_accuracy,
-                                           len(result.members)))
+    def engine(self, train_set: Dataset, test_set: Optional[Dataset],
+               callbacks: Optional[Sequence[Callback]] = None,
+               cache_train: bool = False, record_curve: bool = True,
+               method: Optional[str] = None) -> EnsembleEngine:
+        """An :class:`EnsembleEngine` labelled and tuned for this method.
+
+        ``cache_train=True`` additionally caches member outputs on the
+        training set — for methods whose weight updates read them
+        (the AdaBoosts, BANs' teacher targets).
+        """
+        return EnsembleEngine(
+            method or self.name, train_set, test_set, callbacks=callbacks,
+            cache_train=cache_train, record_curve=record_curve,
+            verbose=self.config.verbose,
+        )

@@ -16,19 +16,25 @@ transfer.
 The implementation refreshes the ensemble-mean soft target once per epoch
 (a standard practical relaxation; exact per-batch means would multiply
 the epoch cost by the ensemble size again).
+
+All members finish training together, so the running per-member curve is
+meaningless here; the members join the engine at the end and one final
+curve point is recorded, as in the original formulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
+from repro.baselines.base import BaselineConfig, EnsembleMethod
+from repro.core.callbacks import Callback
+from repro.core.engine import RoundOutcome
 from repro.core.losses import diversity_driven_loss
-from repro.core.trainer import TrainingConfig, train_model
+from repro.core.results import CurvePoint, FitResult
+from repro.core.trainer import TrainingConfig
 from repro.data.dataset import Dataset
 from repro.nn import predict_probs
 from repro.utils.rng import RngLike, new_rng, spawn_rng
@@ -55,16 +61,16 @@ class NegativeCorrelationLearning(EnsembleMethod):
         super().__init__(factory, config or NCLConfig())
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None):
-        from repro.core.results import CurvePoint, FitResult, MemberRecord
-
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         config: NCLConfig = self.config
         models = [self.factory.build(rng=spawn_rng(rng))
                   for _ in range(config.num_models)]
         sweeps = config.epochs_per_model
 
-        member_probs = None
+        engine = self.engine(train_set, test_set, callbacks,
+                             record_curve=False)
         for sweep in range(sweeps):
             # Refresh soft targets once per sweep.
             member_probs = [predict_probs(m, train_set.x) for m in models]
@@ -78,24 +84,18 @@ class NegativeCorrelationLearning(EnsembleMethod):
                     momentum=config.momentum,
                     weight_decay=config.weight_decay, schedule="constant",
                     augment=config.augment)
-                train_model(model, train_set, epoch_config, loss_fn=loss_fn,
-                            rng=spawn_rng(rng))
+                engine.train_member(model, train_set, epoch_config,
+                                    loss_fn=loss_fn, rng=spawn_rng(rng))
 
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
-        for index, model in enumerate(models):
-            test_accuracy = evaluator.add(model, 1.0)
-            ensemble.add(model, 1.0)
-            result.members.append(MemberRecord(
-                index=index, alpha=1.0, epochs=sweeps,
-                train_accuracy=float("nan"), test_accuracy=test_accuracy))
-        result.total_epochs = sweeps * config.num_models
-        result.final_accuracy = evaluator.ensemble_accuracy()
+        for model in models:
+            engine.complete_round(RoundOutcome(
+                model=model, alpha=1.0, epochs=sweeps,
+                train_accuracy=float("nan")))
+        result = engine.finish()
         if test_set is not None:
             result.curve.append(CurvePoint(result.total_epochs,
                                            result.final_accuracy,
-                                           len(ensemble)))
+                                           len(result.ensemble)))
         return result
 
     @staticmethod

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
-from repro.core.results import CurvePoint, FitResult, MemberRecord
-from repro.core.trainer import train_model
+from repro.baselines.base import EnsembleMethod
+from repro.core.callbacks import Callback, PerEpochCurve
+from repro.core.engine import RoundOutcome
+from repro.core.results import FitResult
 from repro.data.dataset import Dataset
-from repro.nn import accuracy, predict_probs
 from repro.utils.rng import RngLike, new_rng
 
 
@@ -17,36 +16,27 @@ class SingleModel(EnsembleMethod):
     """Train one model for the whole budget (``num_models`` is ignored).
 
     The Fig. 7 curve for the single model is its per-epoch test accuracy,
-    matching the paper's caption ("directly calculated on the test set").
+    matching the paper's caption ("directly calculated on the test set") —
+    recorded by a :class:`~repro.core.callbacks.PerEpochCurve` callback
+    rather than the engine's default per-member curve.
     """
 
     name = "Single Model"
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         total_epochs = self.config.total_epochs()
         model = self.factory.build(rng=rng)
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
 
-        def on_epoch_end(trained_model, epoch):
-            if test_set is None:
-                return
-            acc = accuracy(predict_probs(trained_model, test_set.x), test_set.y)
-            result.curve.append(CurvePoint(epoch + 1, acc, 1))
-
-        logger = train_model(model, train_set,
-                             self.config.training_config(epochs=total_epochs),
-                             rng=rng, on_epoch_end=on_epoch_end)
-        evaluator = IncrementalEvaluator(test_set)
-        test_accuracy = evaluator.add(model, 1.0)
-        ensemble.add(model, 1.0)
-        result.members.append(MemberRecord(
-            index=0, alpha=1.0, epochs=total_epochs,
-            train_accuracy=logger.last("train_accuracy"),
-            test_accuracy=test_accuracy,
-        ))
-        result.total_epochs = total_epochs
-        result.final_accuracy = test_accuracy
-        return result
+        engine = self.engine(train_set, test_set,
+                             [PerEpochCurve()] + list(callbacks or []),
+                             record_curve=False)
+        logger = engine.train_member(
+            model, train_set, self.config.training_config(epochs=total_epochs),
+            rng=rng)
+        engine.complete_round(RoundOutcome(
+            model=model, alpha=1.0, epochs=total_epochs,
+            train_accuracy=logger.last("train_accuracy")))
+        return engine.finish()

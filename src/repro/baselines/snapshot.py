@@ -6,17 +6,21 @@ snapshot joins the ensemble (simple softmax averaging, α = 1).  Because
 the next cycle restarts from the previous cycle's minimum, training is
 fast — but, as the paper under reproduction argues, the snapshots transfer
 *all* knowledge and end up in nearby minima (low diversity; Fig. 8 left).
+
+Snapshots materialise *inside* one continuous training run, so this method
+uses the engine's manual flow: ``complete_round`` fires from the cycle
+boundary hook and the default callbacks (curve, timing) do the rest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.baselines.base import BaselineConfig, EnsembleMethod, IncrementalEvaluator
-from repro.core.ensemble import Ensemble
-from repro.core.results import CurvePoint, FitResult, MemberRecord
-from repro.core.trainer import train_model
+from repro.baselines.base import BaselineConfig, EnsembleMethod
+from repro.core.callbacks import Callback
+from repro.core.engine import RoundOutcome
+from repro.core.results import FitResult
 from repro.data.dataset import Dataset
 from repro.utils.rng import RngLike, new_rng
 from repro.utils.run_log import RunLogger
@@ -39,14 +43,13 @@ class SnapshotEnsemble(EnsembleMethod):
         super().__init__(factory, config)
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         rng = new_rng(rng)
         cycle_length = self.config.epochs_per_model
         total_epochs = self.config.total_epochs()
         model = self.factory.build(rng=rng)
-        ensemble = Ensemble()
-        result = FitResult(method=self.name, ensemble=ensemble)
-        evaluator = IncrementalEvaluator(test_set)
+        engine = self.engine(train_set, test_set, callbacks)
 
         training = self.config.training_config(epochs=total_epochs)
         training.cycle_length = cycle_length
@@ -61,21 +64,10 @@ class SnapshotEnsemble(EnsembleMethod):
             snapshot = self.factory.build(rng=rng)
             snapshot.load_state_dict(trained_model.state_dict())
             snapshot.eval()
-            index = len(ensemble)
-            test_accuracy = evaluator.add(snapshot, 1.0)
-            ensemble.add(snapshot, 1.0)
-            result.members.append(MemberRecord(
-                index=index, alpha=1.0, epochs=cycle_length,
-                train_accuracy=logger.last("train_accuracy"),
-                test_accuracy=test_accuracy,
-            ))
-            ensemble_accuracy = evaluator.ensemble_accuracy()
-            result.curve.append(CurvePoint(epoch + 1, ensemble_accuracy,
-                                           len(ensemble)))
+            engine.complete_round(RoundOutcome(
+                model=snapshot, alpha=1.0, epochs=cycle_length,
+                train_accuracy=logger.last("train_accuracy")))
 
-        train_model(model, train_set, training, rng=rng,
-                    on_epoch_end=on_epoch_end, logger=logger)
-
-        result.total_epochs = total_epochs
-        result.final_accuracy = evaluator.ensemble_accuracy()
-        return result
+        engine.train_member(model, train_set, training, rng=rng,
+                            on_epoch_end=on_epoch_end, logger=logger)
+        return engine.finish(total_epochs=total_epochs)

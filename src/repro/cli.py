@@ -46,6 +46,10 @@ def _cmd_train(args) -> int:
     print(f"ensemble accuracy: {percent(result.final_accuracy)}")
     print(f"average member:    {percent(result.average_member_accuracy())}")
     print(f"total epochs:      {result.total_epochs}")
+    round_seconds = result.metadata.get("round_seconds", [])
+    if round_seconds:
+        rendered = " ".join(f"{s:.2f}s" for s in round_seconds)
+        print(f"round wall-clock:  {rendered} (total {sum(round_seconds):.2f}s)")
     if len(result.ensemble) >= 2:
         probs = result.ensemble.member_probs(scenario.split.test.x)
         print(f"diversity (Eq. 7): {ensemble_diversity(probs):.4f}")

@@ -30,6 +30,16 @@ from repro.core.transfer import (
 )
 from repro.core.trainer import TrainingConfig, default_loss, evaluate_model, train_model
 from repro.core.results import CurvePoint, FitResult, MemberRecord
+from repro.core.callbacks import (
+    Callback,
+    CallbackList,
+    CurveRecorder,
+    DivergenceGuard,
+    PerEpochCurve,
+    RoundTimer,
+    VerboseRounds,
+)
+from repro.core.engine import EnsembleEngine, PredictionCache, RoundOutcome
 from repro.core.serialization import load_ensemble, save_ensemble
 from repro.core.stacking import SoftmaxRegression, StackedEnsemble
 from repro.core.edde import EDDETrainer
@@ -38,6 +48,16 @@ __all__ = [
     "EDDEConfig",
     "EDDETrainer",
     "Ensemble",
+    "EnsembleEngine",
+    "PredictionCache",
+    "RoundOutcome",
+    "Callback",
+    "CallbackList",
+    "CurveRecorder",
+    "PerEpochCurve",
+    "RoundTimer",
+    "VerboseRounds",
+    "DivergenceGuard",
     "FitResult",
     "CurvePoint",
     "MemberRecord",

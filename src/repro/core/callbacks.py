@@ -1,0 +1,192 @@
+"""Callback pipeline for the ensemble training engine.
+
+The :class:`~repro.core.engine.EnsembleEngine` owns the round loop shared
+by EDDE and every baseline; everything that used to be inlined in the
+method loops — curve recording, per-round wall-clock timing, verbose
+logging, divergence diagnostics — is a :class:`Callback` subscribed to the
+engine's events:
+
+========================  =====================================================
+event                     fired
+========================  =====================================================
+``on_fit_start``          once, before any training
+``on_round_start``        before each round of :meth:`EnsembleEngine.run`
+``on_epoch_end``          after every training epoch of ``train_member``
+``on_batch_end``          after every optimiser step of ``train_member``
+``on_round_end``          after a member joins the ensemble (``complete_round``)
+``on_fit_end``            once, from :meth:`EnsembleEngine.finish`
+========================  =====================================================
+
+Writing a custom callback is subclassing ``Callback`` and overriding the
+hooks you care about; every hook receives the engine, so the fitted
+:class:`~repro.core.results.FitResult`, the ensemble, and the
+:class:`~repro.core.engine.PredictionCache` are all in reach.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.results import CurvePoint
+from repro.utils.run_log import get_logger
+
+
+class Callback:
+    """Base class: every hook is a no-op; override what you need."""
+
+    def on_fit_start(self, engine) -> None:
+        """Called once before any member trains."""
+
+    def on_round_start(self, engine, round_index: int) -> None:
+        """Called before each round of :meth:`EnsembleEngine.run`."""
+
+    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
+        """Called after each training epoch inside ``train_member``."""
+
+    def on_batch_end(self, engine, model, batch_index: int,
+                     loss: float) -> None:
+        """Called after each optimiser step inside ``train_member``."""
+
+    def on_round_end(self, engine, outcome) -> None:
+        """Called after ``complete_round`` added a member to the ensemble."""
+
+    def on_fit_end(self, engine) -> None:
+        """Called once from :meth:`EnsembleEngine.finish`."""
+
+
+class CallbackList(Callback):
+    """Dispatches each event to a list of callbacks, in order."""
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None):
+        self.callbacks: List[Callback] = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_fit_start(self, engine) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_start(engine)
+
+    def on_round_start(self, engine, round_index: int) -> None:
+        for callback in self.callbacks:
+            callback.on_round_start(engine, round_index)
+
+    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_end(engine, model, epoch, logger)
+
+    def on_batch_end(self, engine, model, batch_index: int,
+                     loss: float) -> None:
+        for callback in self.callbacks:
+            callback.on_batch_end(engine, model, batch_index, loss)
+
+    def on_round_end(self, engine, outcome) -> None:
+        for callback in self.callbacks:
+            callback.on_round_end(engine, outcome)
+
+    def on_fit_end(self, engine) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_end(engine)
+
+
+class RoundTimer(Callback):
+    """Records per-round wall-clock seconds in ``FitResult.metadata``.
+
+    The stopwatch restarts at fit start, at every ``round_start``, and at
+    every ``round_end`` — so methods that add members from inside a single
+    continuous training run (Snapshot, NCL) still get one duration per
+    member without emitting explicit round starts.
+    """
+
+    def __init__(self, key: str = "round_seconds"):
+        self.key = key
+        self._mark: Optional[float] = None
+
+    def on_fit_start(self, engine) -> None:
+        self._mark = time.perf_counter()
+        engine.result.metadata.setdefault(self.key, [])
+
+    def on_round_start(self, engine, round_index: int) -> None:
+        self._mark = time.perf_counter()
+
+    def on_round_end(self, engine, outcome) -> None:
+        now = time.perf_counter()
+        start = self._mark if self._mark is not None else now
+        engine.result.metadata.setdefault(self.key, []).append(now - start)
+        self._mark = now
+
+
+class CurveRecorder(Callback):
+    """Appends the Fig. 7 curve point after each member joins.
+
+    The ensemble accuracy comes from the engine's prediction cache, so the
+    point costs zero extra model evaluations.
+    """
+
+    def on_round_end(self, engine, outcome) -> None:
+        accuracy = engine.cache.ensemble_accuracy("test")
+        if np.isnan(accuracy):
+            return
+        engine.result.curve.append(CurvePoint(
+            engine.cumulative_epochs, accuracy, len(engine.ensemble)))
+
+
+class PerEpochCurve(Callback):
+    """Per-epoch test-accuracy curve (the Single Model baseline's Fig. 7).
+
+    Unlike :class:`CurveRecorder` this evaluates the *in-training* model on
+    the test set after every epoch, matching the paper's caption for the
+    single-model curve ("directly calculated on the test set").
+    """
+
+    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
+        from repro.nn import accuracy, predict_probs
+
+        test = engine.cache.split("test")
+        if test is None:
+            return
+        x, y = test
+        engine.result.curve.append(CurvePoint(
+            engine.cumulative_epochs,
+            accuracy(predict_probs(model, x), y),
+            len(engine.ensemble) + 1,
+        ))
+
+
+class VerboseRounds(Callback):
+    """Logs a one-line summary after every round (``verbose=True`` runs)."""
+
+    def on_round_end(self, engine, outcome) -> None:
+        ensemble_accuracy = engine.cache.ensemble_accuracy("test")
+        get_logger().info(
+            "%s round %d: alpha=%.4f train_acc=%.4f test_acc=%.4f "
+            "ensemble_acc=%.4f",
+            engine.result.method, outcome.index, outcome.alpha,
+            outcome.train_accuracy, outcome.test_accuracy, ensemble_accuracy)
+
+
+class DivergenceGuard(Callback):
+    """Early diagnostics: flags non-finite epoch losses as they happen.
+
+    Records offending (round, epoch) pairs under
+    ``metadata["diagnostics"]["non_finite_loss"]``; with ``strict=True`` it
+    raises immediately so a diverging sweep fails fast instead of burning
+    the remaining budget.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+
+    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
+        loss = logger.last("loss") if logger is not None else float("nan")
+        if np.isfinite(loss):
+            return
+        diagnostics = engine.result.metadata.setdefault("diagnostics", {})
+        diagnostics.setdefault("non_finite_loss", []).append(
+            {"round": len(engine.ensemble), "epoch": epoch, "loss": float(loss)})
+        if self.strict:
+            raise FloatingPointError(
+                f"non-finite training loss ({loss}) at epoch {epoch}")

@@ -12,13 +12,17 @@ entropy.  Each later round t:
    sample weights from the initial uniform ``W₁`` (Eq. 14), computes the
    model weight ``α_t`` (Eq. 15) and adds ``h_t`` to the ensemble (Eq. 16).
 
-The trainer also records the Fig. 7 curve (ensemble accuracy after each
-round, against cumulative epochs) when given a test set.
+The round loop itself lives in :class:`~repro.core.engine.EnsembleEngine`;
+this module supplies only the EDDE-specific round body.  The engine's
+:class:`~repro.core.engine.PredictionCache` keeps every member's train/test
+softmax outputs, so the ``H_{t-1}(x)`` soft targets, Eq. 12's similarities
+and the Fig. 7 curve all cost **one** evaluation of the new member per
+round — the whole fit performs O(T) model evaluations, not O(T²).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -30,15 +34,16 @@ from repro.core.boosting import (
     similarity_per_sample,
     update_sample_weights,
 )
+from repro.core.callbacks import Callback
 from repro.core.config import EDDEConfig
-from repro.core.ensemble import Ensemble
+from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.losses import diversity_driven_loss
-from repro.core.results import CurvePoint, FitResult, MemberRecord
-from repro.core.trainer import TrainingConfig, train_model
+from repro.core.results import FitResult
+from repro.core.trainer import TrainingConfig
 from repro.core.transfer import select_beta, transfer_parameters
 from repro.data.dataset import Dataset
 from repro.models.factory import ModelFactory
-from repro.nn import accuracy, predict_probs
+from repro.nn import predict_probs
 from repro.utils.rng import RngLike, new_rng, spawn_rng
 
 
@@ -86,49 +91,54 @@ class EDDETrainer:
 
     # ------------------------------------------------------------------
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
-            rng: RngLike = None) -> FitResult:
+            rng: RngLike = None,
+            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
         """Run Algorithm 1 and return the fitted ensemble with its history."""
         rng = new_rng(rng)
         config = self.config
         n = len(train_set)
         initial_weights = np.full(n, 1.0 / n)        # W₁ (line 2)
-        weights = initial_weights.copy()
-        ensemble = Ensemble()
-        result = FitResult(method="EDDE", ensemble=ensemble,
-                           metadata={"gamma": config.gamma})
-        cumulative_epochs = 0
-        previous_model = None
-        beta = None
+        state = {"weights": initial_weights.copy(), "beta": None,
+                 "previous_model": None}
+        engine = EnsembleEngine("EDDE", train_set, test_set,
+                                callbacks=callbacks, cache_train=True,
+                                verbose=config.verbose,
+                                metadata={"gamma": config.gamma})
 
-        for t in range(config.num_models):
+        def round_fn(engine: EnsembleEngine, t: int) -> RoundOutcome:
             round_rng = spawn_rng(rng)
             model = self.factory.build(rng=round_rng)
+            weights = state["weights"]
 
             if t > 0:
-                if beta is None:
-                    beta = self._resolve_beta(train_set, round_rng)
-                    result.metadata["beta"] = beta
-                transfer_parameters(previous_model, model, beta, rng=round_rng)
+                if state["beta"] is None:
+                    state["beta"] = self._resolve_beta(train_set, round_rng)
+                    engine.result.metadata["beta"] = state["beta"]
+                transfer_parameters(state["previous_model"], model,
+                                    state["beta"], rng=round_rng)
+                # Cached: one evaluation per member, ever (Eq. 10 targets).
                 if config.correlate_target == "previous":
-                    ensemble_train_probs = predict_probs(previous_model, train_set.x)
+                    ensemble_train_probs = engine.cache.member_probs("train")
                 else:
-                    ensemble_train_probs = ensemble.predict_probs(train_set.x)
+                    ensemble_train_probs = engine.cache.ensemble_probs("train")
             else:
                 ensemble_train_probs = None
 
             loss_fn = self._make_loss(weights, ensemble_train_probs, n,
                                       gamma=config.gamma if t > 0 else 0.0)
             round_config = self._round_config(t)
-            train_model(model, train_set, round_config, loss_fn=loss_fn,
-                        rng=round_rng)
-            cumulative_epochs += round_config.epochs
+            engine.train_member(model, train_set, round_config,
+                                loss_fn=loss_fn, rng=round_rng)
 
             # Lines 8-12: similarity, bias, weight refresh, model weight.
+            # The single full-train-set evaluation of the new member; it is
+            # handed to the cache so it is never recomputed.
             model_probs = predict_probs(model, train_set.x)
             predictions = model_probs.argmax(axis=1)
             correct = predictions == train_set.y
             if t == 0:
-                bias = bias_per_sample(model_probs, train_set.y, train_set.num_classes)
+                bias = bias_per_sample(model_probs, train_set.y,
+                                       train_set.num_classes)
                 alpha = initial_model_weight(correct, weights, bias)
                 round_record = BoostingRound(
                     index=t, alpha=alpha,
@@ -138,12 +148,16 @@ class EDDETrainer:
                     weights=weights.copy(),
                 )
             else:
-                similarity = similarity_per_sample(model_probs, ensemble_train_probs)
-                bias = bias_per_sample(model_probs, train_set.y, train_set.num_classes)
-                base_weights = (initial_weights if config.update_weights_from_initial
+                similarity = similarity_per_sample(model_probs,
+                                                   ensemble_train_probs)
+                bias = bias_per_sample(model_probs, train_set.y,
+                                       train_set.num_classes)
+                base_weights = (initial_weights
+                                if config.update_weights_from_initial
                                 else weights)
                 weights = update_sample_weights(base_weights, similarity,
                                                 bias, ~correct)
+                state["weights"] = weights
                 alpha = model_weight(similarity, weights, correct)
                 round_record = BoostingRound(
                     index=t, alpha=alpha,
@@ -157,27 +171,15 @@ class EDDETrainer:
             # paper's near-perfect training accuracy; the floor keeps every
             # member in the average (the paper never discards models).
             alpha = max(alpha, config.alpha_floor)
-            ensemble.add(model, alpha)
-            previous_model = model
-
-            test_accuracy = float("nan")
-            ensemble_accuracy = float("nan")
-            if test_set is not None:
-                test_accuracy = accuracy(predict_probs(model, test_set.x), test_set.y)
-                ensemble_accuracy = ensemble.evaluate(test_set.x, test_set.y)
-                result.curve.append(CurvePoint(cumulative_epochs,
-                                               ensemble_accuracy, len(ensemble)))
-            result.members.append(MemberRecord(
-                index=t, alpha=alpha, epochs=round_config.epochs,
+            state["previous_model"] = model
+            return RoundOutcome(
+                model=model, alpha=alpha, epochs=round_config.epochs,
                 train_accuracy=round_record.train_accuracy,
-                test_accuracy=test_accuracy,
                 extras=round_record.summary(),
-            ))
+                precomputed={"train": model_probs},
+            )
 
-        result.total_epochs = cumulative_epochs
-        result.final_accuracy = (ensemble.evaluate(test_set.x, test_set.y)
-                                 if test_set is not None else float("nan"))
-        return result
+        return engine.run(config.num_models, round_fn)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,300 @@
+"""The unified ensemble training engine.
+
+Every method in this repository — EDDE and all seven baselines — grows an
+ensemble one member at a time and needs the same bookkeeping around each
+member: evaluate it, fold it into the running ensemble prediction, record
+a :class:`~repro.core.results.MemberRecord` and a Fig. 7 curve point, and
+time the round.  :class:`EnsembleEngine` owns that loop once; the methods
+keep only what genuinely differs (how a member is initialised, what loss
+it trains under, how its α is computed).
+
+The engine threads a :class:`PredictionCache` through the loop.  The cache
+memoizes each member's softmax outputs per split at the moment the member
+joins, so everything downstream — ``H_{t-1}(x)`` soft targets (Eq. 10),
+``Sim_t``/``Bias_t`` (Eq. 12/13), the running Fig. 7 curve, and the final
+ensemble accuracy — costs **one model evaluation per member for the whole
+fit** instead of re-running every prior member each round.  That turns the
+O(T²) model-evaluation hot path of the naive round loop into O(T).
+
+Aggregation over the cached arrays deliberately reproduces
+:meth:`repro.core.ensemble.Ensemble.predict_probs` operation-for-operation
+(normalise the α's first, then left-fold the weighted member outputs), so
+fixed-seed results are bit-identical to evaluating the ensemble directly;
+the aggregate is memoized per member count, making repeated queries within
+a round free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.callbacks import (
+    Callback,
+    CallbackList,
+    CurveRecorder,
+    RoundTimer,
+    VerboseRounds,
+)
+from repro.core.ensemble import Ensemble
+from repro.core.results import FitResult, MemberRecord
+from repro.core.trainer import LossFn, TrainingConfig, train_model
+from repro.data.dataset import Dataset
+from repro.nn import accuracy, predict_probs
+from repro.nn.module import Module
+from repro.utils.rng import RngLike
+from repro.utils.run_log import RunLogger
+
+
+class PredictionCache:
+    """Incremental member-prediction store over named data splits.
+
+    ``add_member`` evaluates a new member once per registered split (or
+    accepts outputs the caller already computed) and caches the softmax
+    rows; ``ensemble_probs`` maintains the α-weighted aggregate over the
+    cached outputs, recomputed only when the member list changes.  No model
+    is ever re-evaluated.
+    """
+
+    def __init__(self, batch_size: int = 256):
+        self.batch_size = batch_size
+        self.alphas: List[float] = []
+        self._splits: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._member_probs: Dict[str, List[np.ndarray]] = {}
+        self._aggregate: Dict[str, Tuple[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def add_split(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        """Register a split *before* any member is added."""
+        if self.alphas:
+            raise RuntimeError("cannot register splits once members exist")
+        self._splits[name] = (x, y)
+        self._member_probs[name] = []
+
+    def has_split(self, name: str) -> bool:
+        return name in self._splits
+
+    def split(self, name: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        return self._splits.get(name)
+
+    def __len__(self) -> int:
+        return len(self.alphas)
+
+    # ------------------------------------------------------------------
+    def add_member(self, model: Module, alpha: float,
+                   precomputed: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Cache ``model``'s outputs on every split; one evaluation each.
+
+        ``precomputed`` lets the caller hand over outputs it already needed
+        (EDDE evaluates the new member on the train set to compute α_t
+        before the member joins) so they are not computed twice.
+        """
+        precomputed = precomputed or {}
+        for name, (x, _) in self._splits.items():
+            probs = precomputed.get(name)
+            if probs is None:
+                probs = predict_probs(model, x, batch_size=self.batch_size)
+            self._member_probs[name].append(probs)
+        self.alphas.append(float(alpha))
+        self._aggregate.clear()
+
+    # ------------------------------------------------------------------
+    def member_probs(self, name: str, index: int = -1) -> np.ndarray:
+        """Cached softmax outputs of one member on ``name``."""
+        return self._member_probs[name][index]
+
+    def member_probs_list(self, name: str) -> List[np.ndarray]:
+        """Cached outputs of every member on ``name`` (do not mutate)."""
+        return self._member_probs[name]
+
+    def member_accuracy(self, name: str, index: int = -1) -> float:
+        """Top-1 accuracy of one member; nan when the split is absent."""
+        if name not in self._splits:
+            return float("nan")
+        _, y = self._splits[name]
+        return accuracy(self._member_probs[name][index], y)
+
+    def ensemble_probs(self, name: str) -> np.ndarray:
+        """α-weighted average of the cached member outputs on ``name``.
+
+        Matches ``Ensemble.predict_probs`` exactly: weights are the α's
+        normalised by their sum, folded left-to-right in member order.
+        """
+        if not self.alphas:
+            raise RuntimeError("prediction cache is empty")
+        cached = self._aggregate.get(name)
+        if cached is not None and cached[0] == len(self.alphas):
+            return cached[1]
+        alphas = np.asarray(self.alphas)
+        weights = alphas / alphas.sum()
+        member_probs = self._member_probs[name]
+        combined = np.zeros_like(member_probs[0])
+        for weight, probs in zip(weights, member_probs):
+            combined += weight * probs
+        self._aggregate[name] = (len(self.alphas), combined)
+        return combined
+
+    def ensemble_accuracy(self, name: str) -> float:
+        """Ensemble top-1 accuracy; nan when the split is absent or empty."""
+        if name not in self._splits or not self.alphas:
+            return float("nan")
+        _, y = self._splits[name]
+        return accuracy(self.ensemble_probs(name), y)
+
+
+@dataclass
+class RoundOutcome:
+    """What one training round hands back to the engine.
+
+    ``precomputed`` carries any split outputs the round already evaluated
+    (keyed like the cache splits) so the cache does not recompute them;
+    ``test_accuracy`` is filled in by the engine from the cache.
+    """
+
+    model: Module
+    alpha: float
+    epochs: int
+    train_accuracy: float
+    extras: dict = field(default_factory=dict)
+    precomputed: Dict[str, np.ndarray] = field(default_factory=dict)
+    index: int = -1
+    test_accuracy: float = float("nan")
+
+
+# round_fn(engine, round_index) -> RoundOutcome
+RoundFn = Callable[["EnsembleEngine", int], RoundOutcome]
+
+
+class EnsembleEngine:
+    """Drives the member-by-member round loop shared by every method.
+
+    Two usage patterns:
+
+    * **Per-round methods** (EDDE, Bagging, the AdaBoosts, BANs) call
+      :meth:`run` with a ``round_fn`` that trains one member and returns a
+      :class:`RoundOutcome`; the engine does everything else.
+    * **Continuous methods** (Snapshot, Single Model, NCL) train however
+      they like via :meth:`train_member` and call :meth:`complete_round`
+      whenever a member materialises, then :meth:`finish`.
+
+    Events flow to the callback pipeline (see
+    :mod:`repro.core.callbacks`); the default pipeline installs a
+    :class:`~repro.core.callbacks.RoundTimer` (per-round seconds under
+    ``FitResult.metadata["round_seconds"]``) and, when a test split exists
+    and ``record_curve`` is on, a
+    :class:`~repro.core.callbacks.CurveRecorder`.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        train_set: Dataset,
+        test_set: Optional[Dataset] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+        cache_train: bool = False,
+        record_curve: bool = True,
+        verbose: bool = False,
+        batch_size: int = 256,
+        metadata: Optional[dict] = None,
+    ):
+        self.train_set = train_set
+        self.test_set = test_set
+        self.ensemble = Ensemble()
+        self.result = FitResult(method=method, ensemble=self.ensemble,
+                                metadata=dict(metadata or {}))
+        self.cache = PredictionCache(batch_size=batch_size)
+        if cache_train:
+            self.cache.add_split("train", train_set.x, train_set.y)
+        if test_set is not None:
+            self.cache.add_split("test", test_set.x, test_set.y)
+        self.cumulative_epochs = 0
+        self._started = False
+
+        pipeline: List[Callback] = [RoundTimer()]
+        if record_curve and test_set is not None:
+            pipeline.append(CurveRecorder())
+        if verbose:
+            pipeline.append(VerboseRounds())
+        pipeline.extend(callbacks or [])
+        self.callbacks = CallbackList(pipeline)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Emit ``fit_start`` once; later calls are no-ops."""
+        if not self._started:
+            self._started = True
+            self.callbacks.on_fit_start(self)
+
+    def run(self, num_rounds: int, round_fn: RoundFn) -> FitResult:
+        """The standard loop: ``num_rounds`` members, one per round."""
+        self.start()
+        for index in range(num_rounds):
+            self.callbacks.on_round_start(self, index)
+            self.complete_round(round_fn(self, index))
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    def train_member(
+        self,
+        model: Module,
+        dataset: Dataset,
+        config: TrainingConfig,
+        loss_fn: Optional[LossFn] = None,
+        rng: RngLike = None,
+        on_epoch_end=None,
+        logger: Optional[RunLogger] = None,
+    ) -> RunLogger:
+        """Train one member, counting epochs and emitting engine events.
+
+        ``on_epoch_end(model, epoch)`` (a method-level hook, e.g. Snapshot's
+        cycle boundary) runs *after* the callback pipeline saw the epoch.
+        """
+        self.start()
+
+        def epoch_hook(trained_model, epoch):
+            self.cumulative_epochs += 1
+            self.callbacks.on_epoch_end(self, trained_model, epoch, logger)
+            if on_epoch_end is not None:
+                on_epoch_end(trained_model, epoch)
+
+        def batch_hook(trained_model, batch_index, loss):
+            self.callbacks.on_batch_end(self, trained_model, batch_index, loss)
+
+        return train_model(model, dataset, config, loss_fn=loss_fn, rng=rng,
+                           on_epoch_end=epoch_hook, on_batch_end=batch_hook,
+                           logger=logger)
+
+    # ------------------------------------------------------------------
+    def complete_round(self, outcome: RoundOutcome) -> RoundOutcome:
+        """Fold a freshly trained member into the ensemble.
+
+        Caches its predictions (one evaluation per split not already
+        supplied), fills in its test accuracy, appends the
+        :class:`MemberRecord`, and emits ``round_end`` — where the curve
+        recorder and the timer do their work.
+        """
+        self.start()
+        if outcome.index < 0:
+            outcome.index = len(self.ensemble)
+        self.cache.add_member(outcome.model, outcome.alpha,
+                              precomputed=outcome.precomputed)
+        self.ensemble.add(outcome.model, outcome.alpha)
+        outcome.test_accuracy = self.cache.member_accuracy("test")
+        self.result.members.append(MemberRecord(
+            index=outcome.index, alpha=outcome.alpha, epochs=outcome.epochs,
+            train_accuracy=outcome.train_accuracy,
+            test_accuracy=outcome.test_accuracy,
+            extras=outcome.extras,
+        ))
+        self.callbacks.on_round_end(self, outcome)
+        return outcome
+
+    def finish(self, total_epochs: Optional[int] = None) -> FitResult:
+        """Seal the result: totals, final accuracy, ``fit_end`` event."""
+        self.result.total_epochs = (self.cumulative_epochs
+                                    if total_epochs is None else total_epochs)
+        self.result.final_accuracy = self.cache.ensemble_accuracy("test")
+        self.callbacks.on_fit_end(self)
+        return self.result

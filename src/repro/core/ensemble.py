@@ -52,9 +52,10 @@ class Ensemble:
             raise RuntimeError("ensemble is empty")
         alphas = np.asarray(self.alphas)
         weights = alphas / alphas.sum()
-        combined = np.zeros(0)
-        for weight, probs in zip(weights, self.member_probs(x, batch_size)):
-            combined = weight * probs if combined.size == 0 else combined + weight * probs
+        member_probs = self.member_probs(x, batch_size)
+        combined = np.zeros_like(member_probs[0])
+        for weight, probs in zip(weights, member_probs):
+            combined += weight * probs
         return combined
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
@@ -79,9 +80,8 @@ def majority_vote(member_probs: Sequence[np.ndarray]) -> np.ndarray:
         raise ValueError("no member predictions")
     votes = np.stack([probs.argmax(axis=1) for probs in member_probs])
     num_classes = member_probs[0].shape[1]
-    counts = np.apply_along_axis(
-        lambda column: np.bincount(column, minlength=num_classes), 0, votes
-    )
+    counts = np.zeros((num_classes, votes.shape[1]), dtype=np.int64)
+    np.add.at(counts, (votes, np.arange(votes.shape[1])), 1)
     return counts.argmax(axis=0)
 
 

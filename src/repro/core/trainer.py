@@ -32,6 +32,7 @@ from repro.utils.run_log import RunLogger
 # loss_fn(logits, labels, dataset_indices) -> scalar Tensor
 LossFn = Callable[[Tensor, np.ndarray, np.ndarray], Tensor]
 EpochCallback = Callable[[Module, int], None]
+BatchCallback = Callable[[Module, int, float], None]
 
 
 @dataclass
@@ -115,6 +116,7 @@ def train_model(
     loss_fn: Optional[LossFn] = None,
     rng: RngLike = None,
     on_epoch_end: Optional[EpochCallback] = None,
+    on_batch_end: Optional[BatchCallback] = None,
     logger: Optional[RunLogger] = None,
 ) -> RunLogger:
     """Train ``model`` in place; returns the per-epoch log.
@@ -132,6 +134,9 @@ def train_model(
     on_epoch_end:
         Called as ``callback(model, epoch)`` after each epoch — snapshot
         methods save state here, probes measure fold accuracy here.
+    on_batch_end:
+        Called as ``callback(model, batch_index, loss)`` after each
+        optimiser step — the engine's callback pipeline listens here.
     """
     rng = new_rng(rng)
     loss_fn = loss_fn or default_loss()
@@ -148,7 +153,7 @@ def train_model(
         epoch_loss = 0.0
         epoch_correct = 0
         seen = 0
-        for x_batch, y_batch, indices in loader:
+        for batch_index, (x_batch, y_batch, indices) in enumerate(loader):
             optimizer.zero_grad()
             logits = model(x_batch)
             loss = loss_fn(logits, y_batch, indices)
@@ -159,6 +164,8 @@ def train_model(
             epoch_loss += loss.item() * len(y_batch)
             epoch_correct += int((logits.data.argmax(axis=1) == y_batch).sum())
             seen += len(y_batch)
+            if on_batch_end is not None:
+                on_batch_end(model, batch_index, loss.item())
         logger.log(epoch=epoch, loss=epoch_loss / max(1, seen),
                    train_accuracy=epoch_correct / max(1, seen),
                    lr=optimizer.lr)

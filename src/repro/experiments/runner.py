@@ -82,36 +82,40 @@ def make_edde_config(scenario: Scenario, budget: Optional[int] = None,
 
 
 def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
+               callbacks: Optional[Sequence] = None,
                **overrides) -> FitResult:
-    """Fit one method on a scenario; ``overrides`` adjust its config."""
+    """Fit one method on a scenario; ``overrides`` adjust its config.
+
+    ``callbacks`` are extra :class:`~repro.core.callbacks.Callback`
+    instances forwarded to the method's
+    :class:`~repro.core.engine.EnsembleEngine` — every method runs through
+    the same engine, so the same callbacks work across all of them.
+    """
     rng = new_rng(rng)
     train, test = scenario.split.train, scenario.split.test
     if method == "edde":
         config = make_edde_config(scenario, **overrides)
-        return EDDETrainer(scenario.factory, config).fit(train, test, rng=rng)
-    if method == "single":
-        return SingleModel(scenario.factory,
-                           _baseline_config(scenario, **overrides)).fit(train, test, rng=rng)
-    if method == "bagging":
-        return Bagging(scenario.factory,
-                       _baseline_config(scenario, **overrides)).fit(train, test, rng=rng)
-    if method == "adaboost_m1":
-        return AdaBoostM1(scenario.factory,
-                          _baseline_config(scenario, **overrides)).fit(train, test, rng=rng)
-    if method == "adaboost_nc":
-        config = _baseline_config(scenario, cls=AdaBoostNCConfig, **overrides)
-        return AdaBoostNC(scenario.factory, config).fit(train, test, rng=rng)
-    if method == "snapshot":
-        config = _baseline_config(scenario, cls=SnapshotConfig, **overrides)
-        return SnapshotEnsemble(scenario.factory, config).fit(train, test, rng=rng)
-    if method == "bans":
-        config = _baseline_config(scenario, cls=BANsConfig, **overrides)
-        return BANs(scenario.factory, config).fit(train, test, rng=rng)
+        return EDDETrainer(scenario.factory, config).fit(
+            train, test, rng=rng, callbacks=callbacks)
     if method == "ncl":
         config = _baseline_config(scenario, cls=NCLConfig, **overrides)
         return NegativeCorrelationLearning(scenario.factory, config).fit(
-            train, test, rng=rng)
-    raise ValueError(f"unknown method '{method}'; known: {ALL_METHODS + ('ncl',)}")
+            train, test, rng=rng, callbacks=callbacks)
+    baseline_classes = {
+        "single": (SingleModel, BaselineConfig),
+        "bagging": (Bagging, BaselineConfig),
+        "adaboost_m1": (AdaBoostM1, BaselineConfig),
+        "adaboost_nc": (AdaBoostNC, AdaBoostNCConfig),
+        "snapshot": (SnapshotEnsemble, SnapshotConfig),
+        "bans": (BANs, BANsConfig),
+    }
+    if method not in baseline_classes:
+        raise ValueError(
+            f"unknown method '{method}'; known: {ALL_METHODS + ('ncl',)}")
+    method_cls, config_cls = baseline_classes[method]
+    config = _baseline_config(scenario, cls=config_cls, **overrides)
+    return method_cls(scenario.factory, config).fit(
+        train, test, rng=rng, callbacks=callbacks)
 
 
 def run_effectiveness(scenario: Scenario,

@@ -12,7 +12,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tensor import Tensor
-from repro.tensor.ops import pad2d
+from repro.tensor.ops import pad1d, pad2d
 
 
 def _conv_output_size(size: int, kernel: int, stride: int) -> int:
@@ -103,15 +103,7 @@ def conv1d(
 ) -> Tensor:
     """1D convolution over (N, C, L) input — the TextCNN workhorse."""
     if padding:
-        unpadded = x
-        pad_width = ((0, 0), (0, 0), (padding, padding))
-        padded = np.pad(unpadded.data, pad_width)
-
-        def pad_backward(g):
-            if unpadded.requires_grad:
-                unpadded._accumulate(g[:, :, padding:-padding])
-
-        x = Tensor._make(padded, (unpadded,), pad_backward, "pad1d")
+        x = pad1d(x, padding)
     n, c, length = x.shape
     f, c_w, k = weight.shape
     if c != c_w:

@@ -4,7 +4,8 @@ These complement the method-style ops on ``Tensor`` with the structural and
 normalisation operations the paper's models need:
 
 * ``concatenate`` — DenseNet's dense connectivity.
-* ``pad2d`` — convolution padding and the CIFAR augmentation crop.
+* ``pad1d`` / ``pad2d`` — convolution padding and the CIFAR augmentation
+  crop.
 * ``softmax`` / ``log_softmax`` — soft targets (the paper's `h_t(x)`).
 * ``l2norm`` — per-sample ``||h_t(x) - H_{t-1}(x)||_2``, the penalty in the
   diversity-driven loss (paper Eq. 9/10) whose gradient is Eq. 11.
@@ -34,6 +35,24 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
                 tensor._accumulate(g[tuple(index)])
 
     return Tensor._make(data, tensors, backward, "concat")
+
+
+def pad1d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the trailing (length) dim of an (N, C, L) tensor.
+
+    The backward slice ``g[:, :, padding:-padding]`` is only well-formed
+    for ``padding > 0``, so the no-op case returns ``x`` unchanged.
+    """
+    if padding == 0:
+        return x
+    pad_width = ((0, 0), (0, 0), (padding, padding))
+    data = np.pad(x.data, pad_width)
+
+    def backward(g):
+        if x.requires_grad:
+            x._accumulate(g[:, :, padding:-padding])
+
+    return Tensor._make(data, (x,), backward, "pad1d")
 
 
 def pad2d(x: Tensor, padding: int) -> Tensor:

@@ -1,0 +1,94 @@
+"""Same seed, same result — exact, not approximate.
+
+The engine refactor routes every method through the shared
+:class:`~repro.core.engine.EnsembleEngine` and its prediction cache; these
+regressions pin down that the cached aggregation is bitwise identical to
+direct evaluation, so a fixed integer seed reproduces a fit exactly.
+"""
+
+import pytest
+
+from repro.baselines import Bagging, BaselineConfig, SnapshotConfig, SnapshotEnsemble
+from repro.core import EDDEConfig, EDDETrainer
+
+
+def fingerprint(result):
+    """Everything a FitResult promises to reproduce under a fixed seed."""
+    return {
+        "alphas": [m.alpha for m in result.members],
+        "train_accuracies": [m.train_accuracy for m in result.members],
+        "test_accuracies": [m.test_accuracy for m in result.members],
+        "curve": [(p.cumulative_epochs, p.ensemble_accuracy, p.num_models)
+                  for p in result.curve],
+        "total_epochs": result.total_epochs,
+        "final_accuracy": result.final_accuracy,
+    }
+
+
+def assert_identical(a, b):
+    fa, fb = fingerprint(a), fingerprint(b)
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        assert fa[key] == fb[key], f"{key} differs across same-seed runs"
+
+
+class TestSameSeedBitIdentical:
+    def test_edde(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                            first_epochs=2, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        runs = [EDDETrainer(mlp_factory, config).fit(
+                    tiny_image_split.train, tiny_image_split.test, rng=123)
+                for _ in range(2)]
+        assert_identical(runs[0], runs[1])
+        # Ensemble weights are exactly equal, not merely close.
+        assert runs[0].ensemble.alphas == runs[1].ensemble.alphas
+        # And the raw boosting statistics agree too (round 1 records
+        # mean_similarity as nan, which never compares equal to itself).
+        for m0, m1 in zip(runs[0].members, runs[1].members):
+            assert m0.extras.keys() == m1.extras.keys()
+            for key in m0.extras:
+                a, b = m0.extras[key], m1.extras[key]
+                assert a == b or (a != a and b != b), key
+
+    def test_bagging(self, tiny_image_split, mlp_factory):
+        config = BaselineConfig(num_models=3, epochs_per_model=1,
+                                lr=0.05, batch_size=32)
+        runs = [Bagging(mlp_factory, config).fit(
+                    tiny_image_split.train, tiny_image_split.test, rng=123)
+                for _ in range(2)]
+        assert_identical(runs[0], runs[1])
+
+    def test_snapshot(self, tiny_image_split, mlp_factory):
+        config = SnapshotConfig(num_models=2, epochs_per_model=2,
+                                lr=0.05, batch_size=32)
+        runs = [SnapshotEnsemble(mlp_factory, config).fit(
+                    tiny_image_split.train, tiny_image_split.test, rng=9)
+                for _ in range(2)]
+        assert_identical(runs[0], runs[1])
+
+    def test_different_seeds_differ(self, tiny_image_split, mlp_factory):
+        config = EDDEConfig(num_models=2, gamma=0.1, beta=0.6,
+                            first_epochs=1, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        r0 = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        r1 = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=1)
+        with pytest.raises(AssertionError):
+            assert_identical(r0, r1)
+
+
+class TestCachedAggregationMatchesDirect:
+    def test_final_accuracy_equals_direct_evaluation(self, tiny_image_split,
+                                                     mlp_factory):
+        """The cache-maintained ensemble accuracy must equal re-evaluating
+        the fitted ensemble on the test set from scratch, bit for bit."""
+        config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                            first_epochs=2, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=5)
+        direct = result.ensemble.evaluate(tiny_image_split.test.x,
+                                          tiny_image_split.test.y)
+        assert result.final_accuracy == direct

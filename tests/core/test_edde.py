@@ -125,6 +125,72 @@ class TestVariants:
         assert 0.0 <= result.metadata["beta"] <= 1.0
 
 
+class TestAlphaFloor:
+    def test_floor_applies_when_eq15_non_positive(self, tiny_image_split,
+                                                  mlp_factory, monkeypatch):
+        """When Eq. 15 goes non-positive (weak members at tiny budgets),
+        every member must stay in the ensemble at exactly alpha_floor."""
+        import repro.core.edde as edde_mod
+
+        monkeypatch.setattr(edde_mod, "model_weight",
+                            lambda *a, **k: -0.25)
+        monkeypatch.setattr(edde_mod, "initial_model_weight",
+                            lambda *a, **k: -0.25)
+        config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                            first_epochs=1, later_epochs=1,
+                            lr=0.05, batch_size=32, alpha_floor=0.07)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert result.ensemble.alphas == [0.07, 0.07, 0.07]
+        assert [m.alpha for m in result.members] == [0.07, 0.07, 0.07]
+        # The raw (pre-clamp) Eq. 15 value is preserved in the extras.
+        assert all(m.extras["alpha"] == -0.25 for m in result.members)
+
+    def test_floor_inert_when_alpha_positive(self, tiny_image_split,
+                                             mlp_factory, monkeypatch):
+        import repro.core.edde as edde_mod
+
+        monkeypatch.setattr(edde_mod, "model_weight", lambda *a, **k: 1.3)
+        monkeypatch.setattr(edde_mod, "initial_model_weight",
+                            lambda *a, **k: 1.3)
+        config = EDDEConfig(num_models=2, gamma=0.1, beta=0.6,
+                            first_epochs=1, later_epochs=1,
+                            lr=0.05, batch_size=32, alpha_floor=0.1)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+        assert result.ensemble.alphas == [1.3, 1.3]
+
+
+class TestWeightUpdateModes:
+    def test_initial_vs_cumulative_diverge(self, tiny_image_split,
+                                           mlp_factory):
+        """Eq. 14 rescales from the uniform W₁ each round (the paper's
+        design); the AdaBoost-style ablation compounds from W_{t-1}.  Both
+        must complete, and they must actually train on different weight
+        trajectories."""
+        def run(from_initial):
+            # One epoch per round keeps members imperfect on the training
+            # set; with zero misclassifications Eq. 14 leaves the weights
+            # uniform and the two modes would coincide trivially.
+            config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                                first_epochs=1, later_epochs=1, lr=0.02,
+                                batch_size=32,
+                                update_weights_from_initial=from_initial)
+            return EDDETrainer(mlp_factory, config).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=3)
+
+        paper, ablation = run(True), run(False)
+        assert len(paper.ensemble) == len(ablation.ensemble) == 3
+        # Round 1 is identical (same seed, weights still uniform); the
+        # weight refresh first bites in round 2, so later rounds differ.
+        assert paper.members[0].alpha == ablation.members[0].alpha
+        assert paper.members[0].extras["weight_max"] == \
+            ablation.members[0].extras["weight_max"]
+        paper_spread = [m.extras["weight_max"] for m in paper.members[1:]]
+        ablation_spread = [m.extras["weight_max"] for m in ablation.members[1:]]
+        assert paper_spread != ablation_spread
+
+
 class TestDiversityEffect:
     def test_gamma_increases_diversity(self, tiny_image_split, mlp_factory):
         """Higher gamma must produce a more diverse ensemble (the paper's

@@ -1,0 +1,229 @@
+"""The unified engine: prediction cache, callback pipeline, O(T) evals."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Callback,
+    EDDEConfig,
+    EDDETrainer,
+    Ensemble,
+    EnsembleEngine,
+    PredictionCache,
+    RoundOutcome,
+)
+from repro.core.trainer import TrainingConfig
+
+
+class _CountingProbs:
+    """Wraps ``predict_probs`` and counts calls per (model id, input id)."""
+
+    def __init__(self, real):
+        self.real = real
+        self.calls = []
+
+    def __call__(self, model, x, batch_size=256):
+        self.calls.append((id(model), id(x)))
+        return self.real(model, x, batch_size=batch_size)
+
+
+class TestPredictionCache:
+    def _models(self, mlp_factory, n=3):
+        return [mlp_factory.build(rng=i) for i in range(n)]
+
+    def test_matches_ensemble_predict_probs(self, tiny_image_split, mlp_factory):
+        """The cached aggregate must be bit-identical to Eq. 16 evaluated
+        directly — this is what keeps fixed-seed results unchanged."""
+        test = tiny_image_split.test
+        cache = PredictionCache()
+        cache.add_split("test", test.x, test.y)
+        ensemble = Ensemble()
+        for model, alpha in zip(self._models(mlp_factory), (0.5, 1.5, 1.0)):
+            cache.add_member(model, alpha)
+            ensemble.add(model, alpha)
+            np.testing.assert_array_equal(cache.ensemble_probs("test"),
+                                          ensemble.predict_probs(test.x))
+            assert cache.ensemble_accuracy("test") == \
+                ensemble.evaluate(test.x, test.y)
+
+    def test_one_evaluation_per_member(self, tiny_image_split, mlp_factory,
+                                       monkeypatch):
+        import repro.core.engine as engine_mod
+
+        counter = _CountingProbs(engine_mod.predict_probs)
+        monkeypatch.setattr(engine_mod, "predict_probs", counter)
+        test = tiny_image_split.test
+        cache = PredictionCache()
+        cache.add_split("test", test.x, test.y)
+        models = self._models(mlp_factory)
+        for model in models:
+            cache.add_member(model, 1.0)
+            cache.ensemble_probs("test")
+            cache.ensemble_accuracy("test")
+            cache.member_accuracy("test")
+        assert len(counter.calls) == len(models)
+        assert len(set(counter.calls)) == len(models)
+
+    def test_precomputed_outputs_not_recomputed(self, tiny_image_split,
+                                                mlp_factory, monkeypatch):
+        import repro.core.engine as engine_mod
+
+        counter = _CountingProbs(engine_mod.predict_probs)
+        monkeypatch.setattr(engine_mod, "predict_probs", counter)
+        train = tiny_image_split.train
+        cache = PredictionCache()
+        cache.add_split("train", train.x, train.y)
+        model = mlp_factory.build(rng=0)
+        probs = engine_mod.predict_probs(model, train.x)
+        counter.calls.clear()
+        cache.add_member(model, 1.0, precomputed={"train": probs})
+        assert counter.calls == []
+        assert cache.member_probs("train") is probs
+
+    def test_missing_split_is_nan(self, tiny_image_split, mlp_factory):
+        cache = PredictionCache()
+        cache.add_split("train", tiny_image_split.train.x,
+                        tiny_image_split.train.y)
+        cache.add_member(mlp_factory.build(rng=0), 1.0)
+        assert np.isnan(cache.ensemble_accuracy("test"))
+        assert np.isnan(cache.member_accuracy("test"))
+
+    def test_empty_cache(self, tiny_image_split):
+        cache = PredictionCache()
+        cache.add_split("test", tiny_image_split.test.x,
+                        tiny_image_split.test.y)
+        assert np.isnan(cache.ensemble_accuracy("test"))
+        with pytest.raises(RuntimeError):
+            cache.ensemble_probs("test")
+
+    def test_no_split_registration_after_members(self, tiny_image_split,
+                                                 mlp_factory):
+        cache = PredictionCache()
+        cache.add_split("train", tiny_image_split.train.x,
+                        tiny_image_split.train.y)
+        cache.add_member(mlp_factory.build(rng=0), 1.0)
+        with pytest.raises(RuntimeError):
+            cache.add_split("test", tiny_image_split.test.x,
+                            tiny_image_split.test.y)
+
+
+class TestEDDEEvaluationCount:
+    def test_one_train_set_eval_per_round(self, tiny_image_split, mlp_factory,
+                                          monkeypatch):
+        """Acceptance: round t evaluates only the new member on the training
+        set — never the prior members (the old loop was O(T²) here)."""
+        import repro.core.edde as edde_mod
+        import repro.core.engine as engine_mod
+
+        train_x = tiny_image_split.train.x
+        counters = []
+        for mod in (edde_mod, engine_mod):
+            counter = _CountingProbs(mod.predict_probs)
+            monkeypatch.setattr(mod, "predict_probs", counter)
+            counters.append(counter)
+
+        config = EDDEConfig(num_models=4, gamma=0.1, beta=0.6,
+                            first_epochs=1, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0)
+
+        train_calls = [call for counter in counters for call in counter.calls
+                       if call[1] == id(train_x)]
+        # Exactly one full-train-set evaluation per round, each for a
+        # distinct (new) model.
+        assert len(train_calls) == config.num_models
+        assert len({model_id for model_id, _ in train_calls}) == config.num_models
+
+
+class TestEngineLoop:
+    def _round_fn(self, factory, train_set, config):
+        def round_fn(engine, index):
+            model = factory.build(rng=index)
+            logger = engine.train_member(model, train_set, config, rng=index)
+            return RoundOutcome(model=model, alpha=1.0, epochs=config.epochs,
+                                train_accuracy=logger.last("train_accuracy"))
+        return round_fn
+
+    def test_round_timing_in_metadata(self, tiny_image_split, mlp_factory):
+        config = TrainingConfig(epochs=1, lr=0.05, batch_size=32)
+        engine = EnsembleEngine("test", tiny_image_split.train,
+                                tiny_image_split.test)
+        result = engine.run(3, self._round_fn(mlp_factory,
+                                              tiny_image_split.train, config))
+        seconds = result.metadata["round_seconds"]
+        assert len(seconds) == 3
+        assert all(s >= 0.0 for s in seconds)
+
+    def test_counts_epochs_and_curve(self, tiny_image_split, mlp_factory):
+        config = TrainingConfig(epochs=2, lr=0.05, batch_size=32)
+        engine = EnsembleEngine("test", tiny_image_split.train,
+                                tiny_image_split.test)
+        result = engine.run(3, self._round_fn(mlp_factory,
+                                              tiny_image_split.train, config))
+        assert result.total_epochs == 6
+        assert [p.cumulative_epochs for p in result.curve] == [2, 4, 6]
+        assert [p.num_models for p in result.curve] == [1, 2, 3]
+        assert len(result.members) == 3
+        assert result.final_accuracy == result.curve[-1].ensemble_accuracy
+
+    def test_no_test_set(self, tiny_image_split, mlp_factory):
+        config = TrainingConfig(epochs=1, lr=0.05, batch_size=32)
+        engine = EnsembleEngine("test", tiny_image_split.train)
+        result = engine.run(2, self._round_fn(mlp_factory,
+                                              tiny_image_split.train, config))
+        assert result.curve == []
+        assert np.isnan(result.final_accuracy)
+        assert all(np.isnan(m.test_accuracy) for m in result.members)
+
+    def test_custom_callback_sees_all_events(self, tiny_image_split,
+                                             mlp_factory):
+        events = []
+
+        class Recorder(Callback):
+            def on_fit_start(self, engine):
+                events.append("fit_start")
+
+            def on_round_start(self, engine, round_index):
+                events.append(f"round_start:{round_index}")
+
+            def on_epoch_end(self, engine, model, epoch, logger):
+                events.append(f"epoch_end:{epoch}")
+
+            def on_batch_end(self, engine, model, batch_index, loss):
+                events.append("batch_end")
+
+            def on_round_end(self, engine, outcome):
+                events.append(f"round_end:{outcome.index}")
+
+            def on_fit_end(self, engine):
+                events.append("fit_end")
+
+        config = TrainingConfig(epochs=1, lr=0.05, batch_size=128)
+        engine = EnsembleEngine("test", tiny_image_split.train,
+                                tiny_image_split.test, callbacks=[Recorder()])
+        engine.run(2, self._round_fn(mlp_factory, tiny_image_split.train,
+                                     config))
+        assert events[0] == "fit_start"
+        assert events[-1] == "fit_end"
+        assert events.count("round_start:0") == events.count("round_end:0") == 1
+        assert events.count("round_start:1") == events.count("round_end:1") == 1
+        # 160 train samples / batch 128 -> 2 optimiser steps per epoch.
+        assert events.count("batch_end") == 4
+        assert events.count("epoch_end:0") == 2
+
+    def test_callbacks_via_trainer_fit(self, tiny_image_split, mlp_factory):
+        rounds = []
+
+        class RoundCounter(Callback):
+            def on_round_end(self, engine, outcome):
+                rounds.append(outcome.index)
+
+        config = EDDEConfig(num_models=2, gamma=0.1, beta=0.6,
+                            first_epochs=1, later_epochs=1,
+                            lr=0.05, batch_size=32)
+        result = EDDETrainer(mlp_factory, config).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            callbacks=[RoundCounter()])
+        assert rounds == [0, 1]
+        assert len(result.metadata["round_seconds"]) == 2

@@ -4,6 +4,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.tensor import Tensor, gradcheck
+from repro.tensor.ops import pad1d, pad2d
 
 RNG = np.random.default_rng(11)
 
@@ -24,6 +25,12 @@ class TestConv2dGrad:
     def test_with_stride(self):
         assert gradcheck(lambda a, w, b: F.conv2d(a, w, b, stride=2, padding=1),
                          [t((1, 2, 6, 6)), t((2, 2, 3, 3)), t((2,))])
+
+    def test_wide_padding(self):
+        # Padding wider than half the input: every output cell touches zeros,
+        # so the backward's un-pad slice is exercised across the full width.
+        assert gradcheck(lambda a, w: F.conv2d(a, w, None, padding=3),
+                         [t((1, 1, 3, 3)), t((2, 1, 3, 3))])
 
     def test_no_bias(self):
         assert gradcheck(lambda a, w: F.conv2d(a, w, None, padding=1),
@@ -46,6 +53,39 @@ class TestConv1dGrad:
     def test_with_stride(self):
         assert gradcheck(lambda a, w: F.conv1d(a, w, None, stride=2),
                          [t((1, 2, 9)), t((2, 2, 3))])
+
+    def test_with_stride_and_padding(self):
+        # stride > 1 leaves trailing padded columns unconsumed; their
+        # gradient must come back exactly zero through the pad1d backward.
+        assert gradcheck(lambda a, w, b: F.conv1d(a, w, b, stride=2, padding=2),
+                         [t((2, 2, 7)), t((3, 2, 3)), t((3,))])
+
+    def test_wide_padding(self):
+        assert gradcheck(lambda a, w: F.conv1d(a, w, None, padding=4),
+                         [t((1, 2, 3)), t((2, 2, 3))])
+
+    def test_padding_backward_is_unpadded_slice(self):
+        # Direct check of the hand-derived pad path: d(sum(conv))/dx for a
+        # kernel of ones counts how many output windows each input cell
+        # feeds, which for full padding is the same for every cell.
+        x = Tensor(RNG.normal(size=(1, 1, 5)), requires_grad=True)
+        w = Tensor(np.ones((1, 1, 3)))
+        F.conv1d(x, w, padding=2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 5), 3.0))
+
+
+class TestPadGrad:
+    def test_pad1d(self):
+        assert gradcheck(lambda a: pad1d(a, 2), [t((2, 3, 5))])
+
+    def test_pad2d(self):
+        assert gradcheck(lambda a: pad2d(a, 1), [t((2, 2, 3, 3))])
+
+    def test_pad_zero_is_identity(self):
+        x = t((1, 2, 4))
+        assert pad1d(x, 0) is x
+        y = t((1, 2, 4, 4))
+        assert pad2d(y, 0) is y
 
 
 class TestPoolingGrad:
