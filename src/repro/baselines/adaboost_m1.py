@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.baselines.base import EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
 from repro.data.dataset import Dataset
@@ -32,11 +33,17 @@ class AdaBoostM1(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        fault = fault_tolerance or FaultTolerance()
         rng = new_rng(rng)
         n = len(train_set)
         k = train_set.num_classes
         state = {"weights": np.full(n, 1.0 / n)}
+        if fault.resume_from is not None:
+            saved = fault.resume_from.arrays.get("sample_weights")
+            if saved is not None:
+                state["weights"] = np.array(saved)
 
         def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
@@ -66,11 +73,15 @@ class AdaBoostM1(EnsembleMethod):
                 weights = weights * np.exp(alpha * misclassified)
                 state["weights"] = weights / weights.sum()
 
+            engine.checkpoint_extra["sample_weights"] = state["weights"]
             return RoundOutcome(model=model, alpha=float(alpha),
                                 epochs=self.config.epochs_per_model,
                                 train_accuracy=logger.last("train_accuracy"),
                                 extras={"epsilon": epsilon},
                                 precomputed={"train": train_probs})
 
-        engine = self.engine(train_set, test_set, callbacks, cache_train=True)
-        return engine.run(self.config.num_models, round_fn)
+        engine = self.engine(train_set, test_set, callbacks, cache_train=True,
+                             fault_tolerance=fault)
+        engine.track_rng(rng)
+        return engine.run(self.config.num_models, round_fn,
+                          resume_from=fault.resume_from)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineConfig, EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.diversity import correctness_sign
 from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.ensemble import average_probs
@@ -60,11 +61,18 @@ class AdaBoostNC(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        fault = fault_tolerance or FaultTolerance()
         rng = new_rng(rng)
         config: AdaBoostNCConfig = self.config
         n = len(train_set)
         state = {"weights": np.full(n, 1.0 / n), "previous_model": None}
+        if fault.resume_from is not None and fault.resume_from.round:
+            saved = fault.resume_from.arrays.get("sample_weights")
+            if saved is not None:
+                state["weights"] = np.array(saved)
+            state["previous_model"] = fault.resume_from.ensemble.models[-1]
 
         def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
             member_rng = spawn_rng(rng)
@@ -97,6 +105,7 @@ class AdaBoostNC(EnsembleMethod):
             weights = np.clip(weights, _EPS, None)
             state["weights"] = weights / weights.sum()
             state["previous_model"] = model
+            engine.checkpoint_extra["sample_weights"] = state["weights"]
 
             return RoundOutcome(model=model, alpha=alpha,
                                 epochs=self.config.epochs_per_model,
@@ -108,8 +117,10 @@ class AdaBoostNC(EnsembleMethod):
         engine = self.engine(
             train_set, test_set, callbacks, cache_train=True,
             method=self.name if not config.transfer
-            else "AdaBoost.NC (transfer)")
-        return engine.run(self.config.num_models, round_fn)
+            else "AdaBoost.NC (transfer)", fault_tolerance=fault)
+        engine.track_rng(rng)
+        return engine.run(self.config.num_models, round_fn,
+                          resume_from=fault.resume_from)
 
     @staticmethod
     def _penalty(member_train_probs, alphas, labels) -> np.ndarray:

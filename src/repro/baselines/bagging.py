@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.base import EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
 from repro.data.dataset import Dataset
@@ -25,7 +26,9 @@ class Bagging(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        fault = fault_tolerance or FaultTolerance()
         rng = new_rng(rng)
 
         def round_fn(engine: EnsembleEngine, index: int) -> RoundOutcome:
@@ -39,5 +42,10 @@ class Bagging(EnsembleMethod):
                                 epochs=self.config.epochs_per_model,
                                 train_accuracy=logger.last("train_accuracy"))
 
-        engine = self.engine(train_set, test_set, callbacks)
-        return engine.run(self.config.num_models, round_fn)
+        engine = self.engine(train_set, test_set, callbacks,
+                             fault_tolerance=fault)
+        # Members are independent given the RNG stream, so resuming only
+        # needs the restored generator state (and the cached members).
+        engine.track_rng(rng)
+        return engine.run(self.config.num_models, round_fn,
+                          resume_from=fault.resume_from)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineConfig, EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.results import FitResult
 from repro.data.dataset import Dataset
@@ -43,7 +44,9 @@ class BANs(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        fault = fault_tolerance or FaultTolerance()
         rng = new_rng(rng)
         config: BANsConfig = self.config
 
@@ -52,8 +55,11 @@ class BANs(EnsembleMethod):
             model = self.factory.build(rng=member_rng)
             # Teacher targets come from the cache: the previous generation's
             # train-set outputs were stored when it joined the ensemble.
+            # (Checked against the cache, not ``index``: the first teacher
+            # may have been skipped by the retry policy, or restored from
+            # a checkpoint on resume.)
             teacher_probs = (engine.cache.member_probs("train")
-                             if index > 0 else None)
+                             if len(engine.ensemble) > 0 else None)
             loss_fn = self._make_loss(teacher_probs, config)
             logger = engine.train_member(model, train_set,
                                          config.training_config(),
@@ -62,8 +68,11 @@ class BANs(EnsembleMethod):
                                 epochs=config.epochs_per_model,
                                 train_accuracy=logger.last("train_accuracy"))
 
-        engine = self.engine(train_set, test_set, callbacks, cache_train=True)
-        return engine.run(config.num_models, round_fn)
+        engine = self.engine(train_set, test_set, callbacks, cache_train=True,
+                             fault_tolerance=fault)
+        engine.track_rng(rng)
+        return engine.run(config.num_models, round_fn,
+                          resume_from=fault.resume_from)
 
     @staticmethod
     def _make_loss(teacher_probs, config: BANsConfig):

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import CheckpointError, FaultTolerance
 from repro.core.engine import EnsembleEngine
 from repro.core.results import FitResult
 from repro.core.trainer import TrainingConfig
@@ -61,7 +62,18 @@ class BaselineConfig:
 
 
 class EnsembleMethod:
-    """Abstract base: subclasses implement :meth:`fit`."""
+    """Abstract base: subclasses implement :meth:`fit`.
+
+    Every ``fit`` accepts a :class:`~repro.core.checkpointing.
+    FaultTolerance` bundle; the engine built by :meth:`engine` wires its
+    checkpoint manager and retry policy in, so per-round checkpointing and
+    divergence recovery work identically across methods.  Round-based
+    methods additionally support ``fault_tolerance.resume_from``;
+    continuous ones (Single Model, Snapshot, NCL) reject it via
+    :meth:`reject_resume` because their state lives inside one training
+    run (optimiser momentum, LR-cycle position) that per-round
+    checkpoints do not capture.
+    """
 
     name = "abstract"
 
@@ -71,21 +83,33 @@ class EnsembleMethod:
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
         raise NotImplementedError
 
     def engine(self, train_set: Dataset, test_set: Optional[Dataset],
                callbacks: Optional[Sequence[Callback]] = None,
                cache_train: bool = False, record_curve: bool = True,
-               method: Optional[str] = None) -> EnsembleEngine:
+               method: Optional[str] = None,
+               fault_tolerance: Optional[FaultTolerance] = None) -> EnsembleEngine:
         """An :class:`EnsembleEngine` labelled and tuned for this method.
 
         ``cache_train=True`` additionally caches member outputs on the
         training set — for methods whose weight updates read them
         (the AdaBoosts, BANs' teacher targets).
         """
+        fault = fault_tolerance or FaultTolerance()
         return EnsembleEngine(
             method or self.name, train_set, test_set, callbacks=callbacks,
             cache_train=cache_train, record_curve=record_curve,
             verbose=self.config.verbose,
+            retry_policy=fault.retry, checkpoint=fault.checkpoint,
         )
+
+    def reject_resume(self,
+                      fault_tolerance: Optional[FaultTolerance]) -> None:
+        """Fail fast when resume is requested for a continuous method."""
+        if fault_tolerance is not None and fault_tolerance.resume_from is not None:
+            raise CheckpointError(
+                f"{self.name} trains its members inside one continuous "
+                "run; checkpoint resume is not supported for it")

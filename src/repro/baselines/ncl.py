@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineConfig, EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import RoundOutcome
 from repro.core.losses import diversity_driven_loss
 from repro.core.results import CurvePoint, FitResult
@@ -62,7 +63,9 @@ class NegativeCorrelationLearning(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        self.reject_resume(fault_tolerance)
         rng = new_rng(rng)
         config: NCLConfig = self.config
         models = [self.factory.build(rng=spawn_rng(rng))
@@ -70,7 +73,8 @@ class NegativeCorrelationLearning(EnsembleMethod):
         sweeps = config.epochs_per_model
 
         engine = self.engine(train_set, test_set, callbacks,
-                             record_curve=False)
+                             record_curve=False,
+                             fault_tolerance=fault_tolerance)
         for sweep in range(sweeps):
             # Refresh soft targets once per sweep.
             member_probs = [predict_probs(m, train_set.x) for m in models]

@@ -6,6 +6,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.base import EnsembleMethod
 from repro.core.callbacks import Callback, PerEpochCurve
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import RoundOutcome
 from repro.core.results import FitResult
 from repro.data.dataset import Dataset
@@ -25,14 +26,17 @@ class SingleModel(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        self.reject_resume(fault_tolerance)
         rng = new_rng(rng)
         total_epochs = self.config.total_epochs()
         model = self.factory.build(rng=rng)
 
         engine = self.engine(train_set, test_set,
                              [PerEpochCurve()] + list(callbacks or []),
-                             record_curve=False)
+                             record_curve=False,
+                             fault_tolerance=fault_tolerance)
         logger = engine.train_member(
             model, train_set, self.config.training_config(epochs=total_epochs),
             rng=rng)

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.base import BaselineConfig, EnsembleMethod
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.engine import RoundOutcome
 from repro.core.results import FitResult
 from repro.data.dataset import Dataset
@@ -44,12 +45,15 @@ class SnapshotEnsemble(EnsembleMethod):
 
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        self.reject_resume(fault_tolerance)
         rng = new_rng(rng)
         cycle_length = self.config.epochs_per_model
         total_epochs = self.config.total_epochs()
         model = self.factory.build(rng=rng)
-        engine = self.engine(train_set, test_set, callbacks)
+        engine = self.engine(train_set, test_set, callbacks,
+                             fault_tolerance=fault_tolerance)
 
         training = self.config.training_config(epochs=total_epochs)
         training.cycle_length = cycle_length

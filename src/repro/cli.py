@@ -16,6 +16,10 @@ Examples
 ::
 
     python -m repro.cli train --method edde --scenario c100-resnet --seed 0
+    python -m repro.cli train --method edde --scenario c100-resnet --seed 0 \\
+        --checkpoint-dir runs/edde --max-retries 2
+    python -m repro.cli train --method edde --scenario c100-resnet --seed 0 \\
+        --checkpoint-dir runs/edde --resume
     python -m repro.cli compare --scenario c10-resnet --methods single,snapshot,edde
     python -m repro.cli beta --scenario c100-resnet
     python -m repro.cli info
@@ -28,8 +32,9 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table, percent
-from repro.core import ensemble_diversity, save_ensemble
+from repro.core import CheckpointError, ensemble_diversity, save_ensemble
 from repro.experiments import ALL_METHODS, build_scenario, run_effectiveness, run_method
+from repro.experiments.runner import make_fault_tolerance
 from repro.models import available_models
 
 
@@ -41,7 +46,21 @@ def _add_scenario_arg(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_train(args) -> int:
     scenario = build_scenario(args.scenario, rng=args.seed)
-    result = run_method(args.method, scenario, rng=args.seed)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        fault_tolerance = make_fault_tolerance(
+            scenario, checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            max_retries=args.max_retries)
+    except CheckpointError as error:
+        print(f"error: cannot resume: {error}", file=sys.stderr)
+        return 2
+    if fault_tolerance.resume_from is not None:
+        print(f"resuming {args.method} from checkpoint round "
+              f"{fault_tolerance.resume_from.round} in {args.checkpoint_dir}")
+    result = run_method(args.method, scenario, rng=args.seed,
+                        fault_tolerance=fault_tolerance)
     print(f"method:            {result.method}")
     print(f"ensemble accuracy: {percent(result.final_accuracy)}")
     print(f"average member:    {percent(result.average_member_accuracy())}")
@@ -53,6 +72,12 @@ def _cmd_train(args) -> int:
     if len(result.ensemble) >= 2:
         probs = result.ensemble.member_probs(scenario.split.test.x)
         print(f"diversity (Eq. 7): {ensemble_diversity(probs):.4f}")
+    faults = result.metadata.get("faults", [])
+    if faults:
+        skipped = sum(1 for f in faults if f["event"] == "skipped")
+        retried = sum(1 for f in faults if f["event"] == "diverged")
+        print(f"faults:            {retried} diverged attempt(s), "
+              f"{skipped} member(s) skipped")
     if args.save:
         save_ensemble(result.ensemble, args.save)
         print(f"saved ensemble to {args.save}")
@@ -108,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=ALL_METHODS + ("ncl",))
     train.add_argument("--save", default=None,
                        help="path to save the fitted ensemble (.npz)")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="directory for per-round training checkpoints")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from the latest checkpoint in "
+                            "--checkpoint-dir")
+    train.add_argument("--max-retries", type=int, default=None,
+                       help="retries per diverged member before skipping it")
     train.set_defaults(func=_cmd_train)
 
     compare = commands.add_parser("compare", help="compare several methods")

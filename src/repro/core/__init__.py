@@ -34,10 +34,17 @@ from repro.core.callbacks import (
     Callback,
     CallbackList,
     CurveRecorder,
-    DivergenceGuard,
     PerEpochCurve,
     RoundTimer,
     VerboseRounds,
+)
+from repro.core.checkpointing import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+    FaultTolerance,
+    MemberDiverged,
+    RetryPolicy,
 )
 from repro.core.engine import EnsembleEngine, PredictionCache, RoundOutcome
 from repro.core.serialization import load_ensemble, save_ensemble
@@ -57,7 +64,12 @@ __all__ = [
     "PerEpochCurve",
     "RoundTimer",
     "VerboseRounds",
-    "DivergenceGuard",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointState",
+    "FaultTolerance",
+    "MemberDiverged",
+    "RetryPolicy",
     "FitResult",
     "CurvePoint",
     "MemberRecord",

@@ -3,8 +3,9 @@
 The :class:`~repro.core.engine.EnsembleEngine` owns the round loop shared
 by EDDE and every baseline; everything that used to be inlined in the
 method loops — curve recording, per-round wall-clock timing, verbose
-logging, divergence diagnostics — is a :class:`Callback` subscribed to the
-engine's events:
+logging — is a :class:`Callback` subscribed to the engine's events.
+(Divergence detection is *engine* policy, not a callback: see
+:class:`~repro.core.checkpointing.RetryPolicy`.)
 
 ========================  =====================================================
 event                     fired
@@ -166,27 +167,3 @@ class VerboseRounds(Callback):
             "ensemble_acc=%.4f",
             engine.result.method, outcome.index, outcome.alpha,
             outcome.train_accuracy, outcome.test_accuracy, ensemble_accuracy)
-
-
-class DivergenceGuard(Callback):
-    """Early diagnostics: flags non-finite epoch losses as they happen.
-
-    Records offending (round, epoch) pairs under
-    ``metadata["diagnostics"]["non_finite_loss"]``; with ``strict=True`` it
-    raises immediately so a diverging sweep fails fast instead of burning
-    the remaining budget.
-    """
-
-    def __init__(self, strict: bool = False):
-        self.strict = strict
-
-    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
-        loss = logger.last("loss") if logger is not None else float("nan")
-        if np.isfinite(loss):
-            return
-        diagnostics = engine.result.metadata.setdefault("diagnostics", {})
-        diagnostics.setdefault("non_finite_loss", []).append(
-            {"round": len(engine.ensemble), "epoch": epoch, "loss": float(loss)})
-        if self.strict:
-            raise FloatingPointError(
-                f"non-finite training loss ({loss}) at epoch {epoch}")

@@ -35,6 +35,7 @@ from repro.core.boosting import (
     update_sample_weights,
 )
 from repro.core.callbacks import Callback
+from repro.core.checkpointing import FaultTolerance
 from repro.core.config import EDDEConfig
 from repro.core.engine import EnsembleEngine, RoundOutcome
 from repro.core.losses import diversity_driven_loss
@@ -92,8 +93,18 @@ class EDDETrainer:
     # ------------------------------------------------------------------
     def fit(self, train_set: Dataset, test_set: Optional[Dataset] = None,
             rng: RngLike = None,
-            callbacks: Optional[Sequence[Callback]] = None) -> FitResult:
-        """Run Algorithm 1 and return the fitted ensemble with its history."""
+            callbacks: Optional[Sequence[Callback]] = None,
+            fault_tolerance: Optional[FaultTolerance] = None) -> FitResult:
+        """Run Algorithm 1 and return the fitted ensemble with its history.
+
+        ``fault_tolerance`` turns on engine-level checkpointing, resume,
+        and divergence retries (see :mod:`repro.core.checkpointing`).
+        Resuming restores everything round ``t`` depends on — the sample
+        weights ``W_t``, the resolved β, the previous member for transfer,
+        and the RNG state — so the continued fit is bit-identical to an
+        uninterrupted one.
+        """
+        fault = fault_tolerance or FaultTolerance()
         rng = new_rng(rng)
         config = self.config
         n = len(train_set)
@@ -103,14 +114,27 @@ class EDDETrainer:
         engine = EnsembleEngine("EDDE", train_set, test_set,
                                 callbacks=callbacks, cache_train=True,
                                 verbose=config.verbose,
-                                metadata={"gamma": config.gamma})
+                                metadata={"gamma": config.gamma},
+                                retry_policy=fault.retry,
+                                checkpoint=fault.checkpoint)
+        engine.track_rng(rng)
+        resume = fault.resume_from
+        if resume is not None and resume.round:
+            weights = resume.arrays.get("sample_weights")
+            if weights is not None:
+                state["weights"] = np.array(weights)
+            state["beta"] = resume.metadata.get("beta")
+            state["previous_model"] = resume.ensemble.models[-1]
 
         def round_fn(engine: EnsembleEngine, t: int) -> RoundOutcome:
             round_rng = spawn_rng(rng)
             model = self.factory.build(rng=round_rng)
             weights = state["weights"]
+            # "First round" means no members yet — distinct from t == 0
+            # when an earlier member was skipped after exhausting retries.
+            first = len(engine.ensemble) == 0
 
-            if t > 0:
+            if not first:
                 if state["beta"] is None:
                     state["beta"] = self._resolve_beta(train_set, round_rng)
                     engine.result.metadata["beta"] = state["beta"]
@@ -125,7 +149,7 @@ class EDDETrainer:
                 ensemble_train_probs = None
 
             loss_fn = self._make_loss(weights, ensemble_train_probs, n,
-                                      gamma=config.gamma if t > 0 else 0.0)
+                                      gamma=0.0 if first else config.gamma)
             round_config = self._round_config(t)
             engine.train_member(model, train_set, round_config,
                                 loss_fn=loss_fn, rng=round_rng)
@@ -136,7 +160,7 @@ class EDDETrainer:
             model_probs = predict_probs(model, train_set.x)
             predictions = model_probs.argmax(axis=1)
             correct = predictions == train_set.y
-            if t == 0:
+            if first:
                 bias = bias_per_sample(model_probs, train_set.y,
                                        train_set.num_classes)
                 alpha = initial_model_weight(correct, weights, bias)
@@ -172,6 +196,7 @@ class EDDETrainer:
             # member in the average (the paper never discards models).
             alpha = max(alpha, config.alpha_floor)
             state["previous_model"] = model
+            engine.checkpoint_extra["sample_weights"] = state["weights"]
             return RoundOutcome(
                 model=model, alpha=alpha, epochs=round_config.epochs,
                 train_accuracy=round_record.train_accuracy,
@@ -179,7 +204,7 @@ class EDDETrainer:
                 precomputed={"train": model_probs},
             )
 
-        return engine.run(config.num_models, round_fn)
+        return engine.run(config.num_models, round_fn, resume_from=resume)
 
     # ------------------------------------------------------------------
     @staticmethod

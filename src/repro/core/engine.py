@@ -22,11 +22,19 @@ Aggregation over the cached arrays deliberately reproduces
 fixed-seed results are bit-identical to evaluating the ensemble directly;
 the aggregate is memoized per member count, making repeated queries within
 a round free.
+
+The engine is also where fault tolerance lives (see
+:mod:`repro.core.checkpointing`): a :class:`~repro.core.checkpointing.
+CheckpointManager` snapshots the fit after every completed round,
+:meth:`EnsembleEngine.run` resumes from such a snapshot bit-identically,
+and a :class:`~repro.core.checkpointing.RetryPolicy` turns a diverging
+member (non-finite loss, collapsed accuracy) into a reseeded retry — or,
+once retries are exhausted, a recorded skip — instead of a dead fit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +46,7 @@ from repro.core.callbacks import (
     RoundTimer,
     VerboseRounds,
 )
+from repro.core.checkpointing import MemberDiverged, RetryPolicy
 from repro.core.ensemble import Ensemble
 from repro.core.results import FitResult, MemberRecord
 from repro.core.trainer import LossFn, TrainingConfig, train_model
@@ -45,7 +54,7 @@ from repro.data.dataset import Dataset
 from repro.nn import accuracy, predict_probs
 from repro.nn.module import Module
 from repro.utils.rng import RngLike
-from repro.utils.run_log import RunLogger
+from repro.utils.run_log import RunLogger, get_logger
 
 
 class PredictionCache:
@@ -185,6 +194,18 @@ class EnsembleEngine:
     ``FitResult.metadata["round_seconds"]``) and, when a test split exists
     and ``record_curve`` is on, a
     :class:`~repro.core.callbacks.CurveRecorder`.
+
+    Fault tolerance is engine policy: pass a
+    :class:`~repro.core.checkpointing.CheckpointManager` as ``checkpoint=``
+    to snapshot after every round, a
+    :class:`~repro.core.checkpointing.RetryPolicy` as ``retry_policy=`` to
+    recover diverging members inside :meth:`run`, and a
+    :class:`~repro.core.checkpointing.CheckpointState` as
+    :meth:`run`'s ``resume_from=`` to continue a killed fit.  Methods that
+    draw from an RNG should hand it to :meth:`track_rng` so checkpoints
+    capture its state (what makes resume bit-identical), and may publish
+    per-round state arrays in :attr:`checkpoint_extra` (restored into the
+    same attribute on resume).
     """
 
     def __init__(
@@ -198,6 +219,8 @@ class EnsembleEngine:
         verbose: bool = False,
         batch_size: int = 256,
         metadata: Optional[dict] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[Callback] = None,
     ):
         self.train_set = train_set
         self.test_set = test_set
@@ -211,6 +234,13 @@ class EnsembleEngine:
             self.cache.add_split("test", test_set.x, test_set.y)
         self.cumulative_epochs = 0
         self._started = False
+        self.retry_policy = retry_policy
+        self.checkpoint = checkpoint
+        self.rng = None
+        self.checkpoint_extra: Dict[str, np.ndarray] = {}
+        self.retry_attempt = 0
+        self._retryable = False
+        self.resumed_round = 0
 
         pipeline: List[Callback] = [RoundTimer()]
         if record_curve and test_set is not None:
@@ -218,6 +248,9 @@ class EnsembleEngine:
         if verbose:
             pipeline.append(VerboseRounds())
         pipeline.extend(callbacks or [])
+        if checkpoint is not None:
+            # Last, so a snapshot sees what every other callback recorded.
+            pipeline.append(checkpoint)
         self.callbacks = CallbackList(pipeline)
 
     # ------------------------------------------------------------------
@@ -227,13 +260,103 @@ class EnsembleEngine:
             self._started = True
             self.callbacks.on_fit_start(self)
 
-    def run(self, num_rounds: int, round_fn: RoundFn) -> FitResult:
-        """The standard loop: ``num_rounds`` members, one per round."""
+    def track_rng(self, rng) -> None:
+        """Register the method's generator for checkpointing and resume.
+
+        Its bit-generator state is saved with every checkpoint and put
+        back by :meth:`restore`, so a resumed fit draws the exact sequence
+        an uninterrupted fit would have.
+        """
+        self.rng = rng
+
+    def run(self, num_rounds: int, round_fn: RoundFn,
+            resume_from=None) -> FitResult:
+        """The standard loop: ``num_rounds`` members, one per round.
+
+        ``resume_from`` (a :class:`~repro.core.checkpointing.
+        CheckpointState`) restores every completed round first, then the
+        loop continues at the next one.  When a retry policy is active, a
+        round whose member keeps diverging is skipped rather than fatal;
+        the fit continues with the remaining members.
+        """
         self.start()
-        for index in range(num_rounds):
+        if resume_from is not None:
+            self.restore(resume_from)
+        for index in range(len(self.ensemble), num_rounds):
             self.callbacks.on_round_start(self, index)
-            self.complete_round(round_fn(self, index))
+            outcome = self._attempt_round(round_fn, index)
+            if outcome is None:
+                continue
+            self.complete_round(outcome)
         return self.finish()
+
+    def restore(self, state) -> None:
+        """Re-adopt a :class:`~repro.core.checkpointing.CheckpointState`.
+
+        Members re-enter the prediction cache through the same
+        ``add_member`` path as live training — their softmax outputs are
+        deterministic functions of the restored weights, so the cache (and
+        everything downstream of it) is bit-identical to the original
+        fit's.  Wall-clock entries (``round_seconds``) are the original
+        run's; they are the one part of a resumed result that cannot be
+        identical.
+        """
+        if len(self.ensemble):
+            raise RuntimeError(
+                "cannot restore a checkpoint into an engine that already "
+                "has members")
+        for model, alpha in zip(state.ensemble.models, state.ensemble.alphas):
+            self.cache.add_member(model, alpha)
+            self.ensemble.add(model, alpha)
+        self.result.members = list(state.members)
+        self.result.curve = list(state.curve)
+        self.result.metadata.update(state.metadata)
+        self.result.metadata["resumed_from_round"] = state.round
+        self.cumulative_epochs = state.cumulative_epochs
+        self.checkpoint_extra = dict(state.arrays)
+        self.resumed_round = state.round
+        if self.rng is not None and state.rng_state is not None:
+            self.rng.bit_generator.state = state.rng_state
+
+    # ------------------------------------------------------------------
+    def _attempt_round(self, round_fn: RoundFn, index: int):
+        """Run one round under the retry policy; ``None`` means skipped."""
+        policy = self.retry_policy
+        attempts = 1 + (policy.max_retries if policy is not None else 0)
+        for attempt in range(attempts):
+            self.retry_attempt = attempt
+            self._retryable = policy is not None
+            try:
+                outcome = round_fn(self, index)
+                if policy is not None and not np.isfinite(outcome.alpha):
+                    raise MemberDiverged(
+                        f"non-finite model weight ({outcome.alpha!r})",
+                        round_index=index)
+                return outcome
+            except MemberDiverged as fault:
+                self._record_fault(index, attempt, fault)
+            finally:
+                self._retryable = False
+        faults = self.result.metadata.setdefault("faults", [])
+        faults.append({"event": "skipped", "round": index,
+                       "attempts": attempts})
+        get_logger().warning(
+            "%s round %d: member diverged in all %d attempts; skipping it "
+            "(ensemble continues with %d members so far)",
+            self.result.method, index, attempts, len(self.ensemble))
+        return None
+
+    def _record_fault(self, index: int, attempt: int,
+                      fault: MemberDiverged) -> None:
+        faults = self.result.metadata.setdefault("faults", [])
+        faults.append({
+            "event": "diverged", "round": index, "attempt": attempt,
+            "reason": fault.reason, "epoch": fault.epoch,
+            "batch": fault.batch,
+        })
+        get_logger().warning(
+            "%s round %d attempt %d: %s — retrying with a reseeded member",
+            self.result.method, index, attempt, fault.reason)
 
     # ------------------------------------------------------------------
     def train_member(
@@ -250,21 +373,56 @@ class EnsembleEngine:
 
         ``on_epoch_end(model, epoch)`` (a method-level hook, e.g. Snapshot's
         cycle boundary) runs *after* the callback pipeline saw the epoch.
+
+        Under an active :class:`~repro.core.checkpointing.RetryPolicy`
+        (inside :meth:`run`'s round loop), training is watched: a
+        non-finite batch or epoch loss — or an epoch training accuracy
+        below the policy's collapse floor — aborts the member with
+        :class:`~repro.core.checkpointing.MemberDiverged`, and retry
+        attempts train with the policy's decayed learning rate.
         """
         self.start()
+        policy = self.retry_policy if self._retryable else None
+        if policy is not None and self.retry_attempt and policy.lr_decay != 1.0:
+            config = replace(
+                config, lr=config.lr * policy.lr_decay ** self.retry_attempt)
+        logger = logger or RunLogger(verbose=config.verbose)
 
         def epoch_hook(trained_model, epoch):
             self.cumulative_epochs += 1
             self.callbacks.on_epoch_end(self, trained_model, epoch, logger)
+            if policy is not None:
+                self._check_epoch(policy, logger, epoch)
             if on_epoch_end is not None:
                 on_epoch_end(trained_model, epoch)
 
         def batch_hook(trained_model, batch_index, loss):
             self.callbacks.on_batch_end(self, trained_model, batch_index, loss)
+            if policy is not None and not np.isfinite(loss):
+                raise MemberDiverged(
+                    f"non-finite training loss ({loss!r})",
+                    round_index=len(self.ensemble), batch=batch_index)
 
         return train_model(model, dataset, config, loss_fn=loss_fn, rng=rng,
                            on_epoch_end=epoch_hook, on_batch_end=batch_hook,
                            logger=logger)
+
+    def _check_epoch(self, policy: RetryPolicy, logger: RunLogger,
+                     epoch: int) -> None:
+        """Epoch-level divergence checks for :meth:`train_member`."""
+        loss = logger.last("loss")
+        if not np.isfinite(loss):
+            raise MemberDiverged(
+                f"non-finite epoch loss ({loss!r})",
+                round_index=len(self.ensemble), epoch=epoch)
+        floor = policy.min_train_accuracy
+        if floor is not None and epoch >= policy.grace_epochs:
+            train_accuracy = logger.last("train_accuracy")
+            if train_accuracy < floor:
+                raise MemberDiverged(
+                    f"training accuracy collapsed "
+                    f"({train_accuracy:.4f} < {floor:.4f})",
+                    round_index=len(self.ensemble), epoch=epoch)
 
     # ------------------------------------------------------------------
     def complete_round(self, outcome: RoundOutcome) -> RoundOutcome:

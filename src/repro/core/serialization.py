@@ -6,56 +6,133 @@ weights, and a tag identifying the architecture.  Loading rebuilds the
 members from a :class:`~repro.models.factory.ModelFactory`, so the
 architecture hyperparameters live in code, not in the archive — the same
 contract as the rest of the library (weights are data, topology is code).
+
+Writes are atomic: the archive is written to a sibling temporary file and
+moved into place with :func:`os.replace`, so an interrupted save can never
+leave a truncated ``.npz`` behind.  The same payload layout (and the same
+atomic-write path) backs the per-round training checkpoints in
+:mod:`repro.core.checkpointing` — there is exactly one member-weights
+format in the library.
+
+Format history
+--------------
+* **v1** — members + alphas, no architecture tag.
+* **v2** — adds ``__arch_tag__`` (the member class name), validated on
+  load.  v1 archives still load, with a warning instead of validation.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Union
+import warnings
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.core.ensemble import Ensemble
 from repro.models.factory import ModelFactory
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+PathLike = Union[str, pathlib.Path]
 
 
-def save_ensemble(ensemble: Ensemble, path: Union[str, pathlib.Path]) -> None:
-    """Serialise ``ensemble`` to ``path`` (a ``.npz`` archive)."""
+def _npz_path(path: PathLike) -> pathlib.Path:
+    """The path ``np.savez`` would actually write (it appends ``.npz``)."""
+    path = pathlib.Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def atomic_savez(path: PathLike, payload: Dict[str, np.ndarray]) -> pathlib.Path:
+    """Write an ``.npz`` archive atomically; returns the final path.
+
+    The payload goes to a sibling temporary file first and is moved into
+    place with ``os.replace``, so readers only ever see a complete archive.
+    Writing through a file object also sidesteps ``np.savez``'s automatic
+    ``.npz`` suffixing, which would otherwise break the rename.
+    """
+    path = _npz_path(path)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def ensemble_payload(ensemble: Ensemble) -> Dict[str, np.ndarray]:
+    """The archive entries describing ``ensemble`` (members, alphas, tag)."""
     if not len(ensemble):
         raise ValueError("refusing to save an empty ensemble")
     payload = {
         "__format_version__": np.array(_FORMAT_VERSION),
         "__num_models__": np.array(len(ensemble)),
         "__alphas__": np.asarray(ensemble.alphas),
+        "__arch_tag__": np.array(type(ensemble.models[0]).__name__),
     }
     for index, model in enumerate(ensemble.models):
         for name, value in model.state_dict().items():
             payload[f"model{index}/{name}"] = value
-    np.savez(path, **payload)
+    return payload
 
 
-def load_ensemble(path: Union[str, pathlib.Path],
-                  factory: ModelFactory) -> Ensemble:
+def restore_ensemble(archive, factory: ModelFactory) -> Ensemble:
+    """Rebuild an ensemble from an open ``.npz`` archive.
+
+    Shared by :func:`load_ensemble` and the checkpoint loader; validates
+    the format version and the architecture tag before touching weights.
+    """
+    version = int(archive["__format_version__"])
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported ensemble format version {version}")
+    probe = factory.build(rng=0)
+    if "__arch_tag__" in archive.files:
+        tag = str(archive["__arch_tag__"].item())
+        built = type(probe).__name__
+        if tag != built:
+            raise ValueError(
+                f"architecture mismatch: archive was saved from '{tag}' "
+                f"but the factory builds '{built}'")
+    elif version == 1:
+        warnings.warn(
+            "ensemble archive predates architecture tags (format v1); "
+            "skipping architecture validation", stacklevel=3)
+    else:
+        raise ValueError("archive is missing the architecture tag")
+    count = int(archive["__num_models__"])
+    alphas = archive["__alphas__"]
+    ensemble = Ensemble()
+    for index in range(count):
+        prefix = f"model{index}/"
+        state = {key[len(prefix):]: archive[key]
+                 for key in archive.files if key.startswith(prefix)}
+        model = probe if index == 0 else factory.build(rng=0)
+        model.load_state_dict(state)
+        model.eval()
+        ensemble.add(model, float(alphas[index]))
+    return ensemble
+
+
+def save_ensemble(ensemble: Ensemble, path: PathLike) -> None:
+    """Serialise ``ensemble`` to ``path`` (a ``.npz`` archive), atomically."""
+    atomic_savez(path, ensemble_payload(ensemble))
+
+
+def load_ensemble(path: PathLike, factory: ModelFactory) -> Ensemble:
     """Rebuild an ensemble saved by :func:`save_ensemble`.
 
     ``factory`` must construct the same architecture the ensemble was
-    trained with; a parameter-shape mismatch raises ``ValueError``.
+    trained with; an architecture-tag or parameter-shape mismatch raises
+    ``ValueError``.
     """
-    with np.load(path) as archive:
-        version = int(archive["__format_version__"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported ensemble format version {version}")
-        count = int(archive["__num_models__"])
-        alphas = archive["__alphas__"]
-        ensemble = Ensemble()
-        for index in range(count):
-            prefix = f"model{index}/"
-            state = {key[len(prefix):]: archive[key]
-                     for key in archive.files if key.startswith(prefix)}
-            model = factory.build(rng=0)
-            model.load_state_dict(state)
-            model.eval()
-            ensemble.add(model, float(alphas[index]))
-    return ensemble
+    with np.load(_npz_path(path)) as archive:
+        return restore_ensemble(archive, factory)

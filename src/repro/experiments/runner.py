@@ -30,6 +30,11 @@ from repro.baselines import (
     SnapshotEnsemble,
 )
 from repro.core import EDDEConfig, EDDETrainer
+from repro.core.checkpointing import (
+    CheckpointManager,
+    FaultTolerance,
+    RetryPolicy,
+)
 from repro.core.results import FitResult
 from repro.core.transfer import BetaProbeResult, beta_probe
 from repro.data.folds import merge_folds, split_folds
@@ -81,26 +86,67 @@ def make_edde_config(scenario: Scenario, budget: Optional[int] = None,
     return config
 
 
+def make_fault_tolerance(scenario: Scenario,
+                         checkpoint_dir=None,
+                         resume: bool = False,
+                         keep_last: int = 3,
+                         max_retries: Optional[int] = None,
+                         retry_lr_decay: float = 0.5) -> FaultTolerance:
+    """Build the fault-tolerance bundle a ``fit`` call expects.
+
+    ``checkpoint_dir`` enables per-round checkpoints (retaining the last
+    ``keep_last``); ``resume=True`` additionally loads the latest round
+    from that directory (raising
+    :class:`~repro.core.checkpointing.CheckpointError` when it is missing
+    or corrupt); ``max_retries`` enables divergence recovery.
+    """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    manager = None
+    state = None
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(checkpoint_dir, keep_last=keep_last)
+        if resume:
+            state = manager.load(scenario.factory)
+    retry = None
+    if max_retries is not None:
+        retry = RetryPolicy(max_retries=max_retries, lr_decay=retry_lr_decay)
+    return FaultTolerance(checkpoint=manager, resume_from=state, retry=retry)
+
+
 def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
                callbacks: Optional[Sequence] = None,
+               fault_tolerance: Optional[FaultTolerance] = None,
+               checkpoint_dir=None, resume: bool = False,
+               keep_last: int = 3, max_retries: Optional[int] = None,
                **overrides) -> FitResult:
     """Fit one method on a scenario; ``overrides`` adjust its config.
 
     ``callbacks`` are extra :class:`~repro.core.callbacks.Callback`
     instances forwarded to the method's
     :class:`~repro.core.engine.EnsembleEngine` — every method runs through
-    the same engine, so the same callbacks work across all of them.
+    the same engine, so the same callbacks work across all of them.  The
+    same holds for fault tolerance: pass a prebuilt
+    :class:`~repro.core.checkpointing.FaultTolerance`, or let the
+    convenience keywords (``checkpoint_dir``/``resume``/``keep_last``/
+    ``max_retries``) build one via :func:`make_fault_tolerance`.
     """
+    if fault_tolerance is None:
+        fault_tolerance = make_fault_tolerance(
+            scenario, checkpoint_dir=checkpoint_dir, resume=resume,
+            keep_last=keep_last, max_retries=max_retries)
     rng = new_rng(rng)
     train, test = scenario.split.train, scenario.split.test
     if method == "edde":
         config = make_edde_config(scenario, **overrides)
         return EDDETrainer(scenario.factory, config).fit(
-            train, test, rng=rng, callbacks=callbacks)
+            train, test, rng=rng, callbacks=callbacks,
+            fault_tolerance=fault_tolerance)
     if method == "ncl":
         config = _baseline_config(scenario, cls=NCLConfig, **overrides)
         return NegativeCorrelationLearning(scenario.factory, config).fit(
-            train, test, rng=rng, callbacks=callbacks)
+            train, test, rng=rng, callbacks=callbacks,
+            fault_tolerance=fault_tolerance)
     baseline_classes = {
         "single": (SingleModel, BaselineConfig),
         "bagging": (Bagging, BaselineConfig),
@@ -115,7 +161,8 @@ def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
     method_cls, config_cls = baseline_classes[method]
     config = _baseline_config(scenario, cls=config_cls, **overrides)
     return method_cls(scenario.factory, config).fit(
-        train, test, rng=rng, callbacks=callbacks)
+        train, test, rng=rng, callbacks=callbacks,
+        fault_tolerance=fault_tolerance)
 
 
 def run_effectiveness(scenario: Scenario,

@@ -1,9 +1,10 @@
-"""Ensemble save/load round-trips."""
+"""Ensemble save/load round-trips, format versioning, and atomicity."""
 
 import numpy as np
 import pytest
 
 from repro.core import Ensemble, load_ensemble, save_ensemble
+from repro.core.serialization import ensemble_payload
 from repro.models import MLP, ModelFactory
 
 RNG = np.random.default_rng(13)
@@ -56,6 +57,14 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             load_ensemble(path, wrong)
 
+    def test_path_without_npz_suffix(self, factory, tmp_path):
+        # np.savez appends ``.npz``; both save and load must agree on the
+        # real filename so the atomic rename lands where load looks.
+        ensemble = make_ensemble(factory)
+        save_ensemble(ensemble, tmp_path / "ensemble")
+        assert (tmp_path / "ensemble.npz").is_file()
+        assert len(load_ensemble(tmp_path / "ensemble", factory)) == 3
+
     def test_batchnorm_buffers_survive(self, tmp_path):
         from repro.models import ResNetCIFAR
 
@@ -72,3 +81,70 @@ class TestRoundTrip:
         x = RNG.normal(size=(4, 3, 8, 8))
         np.testing.assert_allclose(ensemble.predict_probs(x),
                                    restored.predict_probs(x), atol=1e-12)
+
+
+class TestFormatVersioning:
+    def test_archive_carries_version_and_tag(self, factory, tmp_path):
+        save_ensemble(make_ensemble(factory), tmp_path / "e.npz")
+        with np.load(tmp_path / "e.npz") as archive:
+            assert int(archive["__format_version__"]) == 2
+            assert str(archive["__arch_tag__"].item()) == "MLP"
+
+    def test_unsupported_version_rejected(self, factory, tmp_path):
+        payload = ensemble_payload(make_ensemble(factory))
+        payload["__format_version__"] = np.array(99)
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(ValueError, match="unsupported ensemble format"):
+            load_ensemble(tmp_path / "e.npz", factory)
+
+    def test_architecture_tag_mismatch_rejected(self, factory, tmp_path):
+        payload = ensemble_payload(make_ensemble(factory))
+        payload["__arch_tag__"] = np.array("ResNetCIFAR")
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(ValueError, match="architecture mismatch"):
+            load_ensemble(tmp_path / "e.npz", factory)
+
+    def test_v1_archive_loads_with_warning(self, factory, tmp_path):
+        # A v1 archive has no __arch_tag__: it must still load (backward
+        # compatibility), but with an explicit warning that architecture
+        # validation was skipped.
+        ensemble = make_ensemble(factory)
+        payload = ensemble_payload(ensemble)
+        del payload["__arch_tag__"]
+        payload["__format_version__"] = np.array(1)
+        np.savez(tmp_path / "v1.npz", **payload)
+        with pytest.warns(UserWarning, match="predates architecture tags"):
+            restored = load_ensemble(tmp_path / "v1.npz", factory)
+        x = RNG.normal(size=(6, 4))
+        np.testing.assert_allclose(ensemble.predict_probs(x),
+                                   restored.predict_probs(x), atol=1e-12)
+
+    def test_v2_archive_without_tag_rejected(self, factory, tmp_path):
+        payload = ensemble_payload(make_ensemble(factory))
+        del payload["__arch_tag__"]
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(ValueError, match="missing the architecture tag"):
+            load_ensemble(tmp_path / "e.npz", factory)
+
+
+class TestAtomicity:
+    def test_no_temporary_files_after_save(self, factory, tmp_path):
+        save_ensemble(make_ensemble(factory), tmp_path / "e.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["e.npz"]
+
+    def test_failed_save_preserves_previous_archive(self, factory, tmp_path,
+                                                    monkeypatch):
+        # A crash mid-write must neither clobber the existing archive nor
+        # leave a temporary file behind.
+        path = tmp_path / "e.npz"
+        save_ensemble(make_ensemble(factory), path)
+        before = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_ensemble(make_ensemble(factory, count=2), path)
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["e.npz"]

@@ -1,0 +1,107 @@
+"""Deterministic fault injection for the fault-tolerance test suite.
+
+:class:`InjectFault` is a regular engine callback (see
+:mod:`repro.core.callbacks`) that sabotages training at an exact,
+repeatable point — a chosen ``(round, epoch, batch)`` — in one of two
+ways:
+
+``"interrupt"``
+    Raise :class:`KeyboardInterrupt`, simulating the process being killed
+    mid-fit.  With ``epoch=None`` the interrupt fires at the *start* of
+    the target round, i.e. after the previous round's checkpoint was
+    written and before any new work — the cleanest model of a kill between
+    rounds.
+
+``"corrupt-params"``
+    Overwrite the in-training member's first parameter tensor with a
+    non-finite value.  The *next* optimiser step then computes a genuinely
+    non-finite loss, so the engine's real detection path (the batch/epoch
+    watchdogs installed by :class:`~repro.core.checkpointing.RetryPolicy`)
+    is exercised rather than short-circuited.  Corrupt at a point with at
+    least one optimiser step still to come, or the fault goes unnoticed.
+
+The callback tracks the current round through ``on_round_start`` rather
+than inferring it from ``len(engine.ensemble)`` — a skipped round leaves
+the ensemble size behind the round index, and inferring from size would
+re-fire the fault on every later round.  Retries of the same round are
+detected through ``engine.retry_attempt``; with ``once=True`` (default)
+the fault fires on the first attempt only, so the retry trains clean and
+recovery can be asserted, while ``once=False`` re-fires on every attempt
+to force retry exhaustion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.callbacks import Callback
+
+
+class InjectFault(Callback):
+    """Corrupt or interrupt training at a chosen (round, epoch, batch)."""
+
+    MODES = ("corrupt-params", "interrupt")
+
+    def __init__(self, round_index: int, mode: str = "corrupt-params",
+                 epoch=None, batch=None, once: bool = True):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; "
+                             f"choose one of {self.MODES}")
+        self.round_index = round_index
+        self.mode = mode
+        self.epoch = epoch
+        self.batch = batch
+        self.once = once
+        self.fired = 0
+        self._round = -1
+        self._attempt = 0
+        self._epochs_done = 0
+
+    # ------------------------------------------------------------------
+    def on_round_start(self, engine, round_index: int) -> None:
+        self._round = round_index
+        self._attempt = 0
+        self._epochs_done = 0
+        if (self.mode == "interrupt" and round_index == self.round_index
+                and self.epoch is None and self.batch is None
+                and self._armed()):
+            self.fired += 1
+            raise KeyboardInterrupt(
+                f"injected kill at start of round {round_index}")
+
+    def on_batch_end(self, engine, model, batch_index: int,
+                     loss: float) -> None:
+        self._sync_attempt(engine)
+        if self.batch is None or not self._at_target(engine):
+            return
+        if self._epochs_done == (self.epoch or 0) and batch_index == self.batch:
+            self._fire(model, f"epoch {self._epochs_done} batch {batch_index}")
+
+    def on_epoch_end(self, engine, model, epoch: int, logger) -> None:
+        self._sync_attempt(engine)
+        self._epochs_done = epoch + 1
+        if self.batch is not None or self.epoch is None:
+            return
+        if self._at_target(engine) and epoch == self.epoch:
+            self._fire(model, f"end of epoch {epoch}")
+
+    # ------------------------------------------------------------------
+    def _sync_attempt(self, engine) -> None:
+        # A retry restarts the member's training from epoch 0.
+        if engine.retry_attempt != self._attempt:
+            self._attempt = engine.retry_attempt
+            self._epochs_done = 0
+
+    def _at_target(self, engine) -> bool:
+        return self._round == self.round_index and self._armed()
+
+    def _armed(self) -> bool:
+        return not (self.once and self.fired)
+
+    def _fire(self, model, where: str) -> None:
+        self.fired += 1
+        if self.mode == "interrupt":
+            raise KeyboardInterrupt(
+                f"injected kill at round {self._round}, {where}")
+        param = next(iter(model.parameters()))
+        param.data[...] = np.nan

@@ -1,0 +1,172 @@
+"""Divergence recovery: injected NaNs trigger logged retries; exhausted
+retries degrade to a skipped member instead of a dead fit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Bagging, BaselineConfig
+from repro.core import (
+    EDDEConfig,
+    EDDETrainer,
+    FaultTolerance,
+    MemberDiverged,
+    RetryPolicy,
+)
+from repro.core.engine import EnsembleEngine, RoundOutcome
+from repro.core.trainer import TrainingConfig
+
+from tests.faults.injection import InjectFault
+
+
+def edde_config(num_models=3):
+    return EDDEConfig(num_models=num_models, gamma=0.1, beta=0.6,
+                      first_epochs=2, later_epochs=2, lr=0.05,
+                      batch_size=32, weight_decay=0.0)
+
+
+def bagging_config(num_models=3):
+    return BaselineConfig(num_models=num_models, epochs_per_model=2,
+                          lr=0.05, batch_size=32, weight_decay=0.0)
+
+
+class TestRetryRecovers:
+    def test_nan_loss_triggers_retry_and_fit_completes(
+            self, tiny_image_split, mlp_factory):
+        # Corrupt the round-1 member's parameters after its first batch;
+        # the next optimiser step produces a non-finite loss, the engine
+        # aborts the member, and the (clean) retry trains to completion.
+        fault = InjectFault(1, mode="corrupt-params", epoch=0, batch=0)
+        result = EDDETrainer(mlp_factory, edde_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            callbacks=[fault],
+            fault_tolerance=FaultTolerance(retry=RetryPolicy(max_retries=2)))
+
+        assert fault.fired == 1
+        assert len(result.ensemble) == 3
+        assert np.isfinite(result.final_accuracy)
+        faults = result.metadata["faults"]
+        assert len(faults) == 1
+        assert faults[0]["event"] == "diverged"
+        assert faults[0]["round"] == 1
+        assert faults[0]["attempt"] == 0
+        assert "non-finite" in faults[0]["reason"]
+
+    def test_recovery_for_round_based_baseline(self, tiny_image_split,
+                                               mlp_factory):
+        fault = InjectFault(0, mode="corrupt-params", epoch=0, batch=0)
+        result = Bagging(mlp_factory, bagging_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            callbacks=[fault],
+            fault_tolerance=FaultTolerance(retry=RetryPolicy(max_retries=1)))
+        assert len(result.ensemble) == 3
+        assert [f["event"] for f in result.metadata["faults"]] == ["diverged"]
+
+
+class TestRetryExhaustion:
+    def test_persistent_fault_skips_member(self, tiny_image_split,
+                                           mlp_factory):
+        # once=False re-corrupts every attempt of round 1; after
+        # max_retries the round is skipped and the fit continues with the
+        # remaining members.
+        fault = InjectFault(1, mode="corrupt-params", epoch=0, batch=0,
+                            once=False)
+        result = EDDETrainer(mlp_factory, edde_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            callbacks=[fault],
+            fault_tolerance=FaultTolerance(retry=RetryPolicy(max_retries=1)))
+
+        assert fault.fired == 2          # initial attempt + one retry
+        assert len(result.ensemble) == 2  # rounds 0 and 2 survived
+        assert np.isfinite(result.final_accuracy)
+        events = [f["event"] for f in result.metadata["faults"]]
+        assert events == ["diverged", "diverged", "skipped"]
+        skipped = result.metadata["faults"][-1]
+        assert skipped["round"] == 1
+        assert skipped["attempts"] == 2
+
+    def test_skipped_first_round_keeps_edde_alive(self, tiny_image_split,
+                                                  mlp_factory):
+        # Round 0 is EDDE's special round (no soft targets, fresh init);
+        # skipping it must shift that role to the next successful member
+        # rather than crash on an empty ensemble.
+        fault = InjectFault(0, mode="corrupt-params", epoch=0, batch=0,
+                            once=False)
+        result = EDDETrainer(mlp_factory, edde_config()).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            callbacks=[fault],
+            fault_tolerance=FaultTolerance(retry=RetryPolicy(max_retries=0)))
+        assert len(result.ensemble) == 2
+        assert np.isfinite(result.final_accuracy)
+
+
+class TestRetryPolicyMechanics:
+    def test_lr_decay_and_reseeding_on_retry(self, tiny_image_split):
+        # Engine-level check of the retry loop itself: the failing attempt
+        # and its retry see different attempt numbers, the retry trains
+        # with the decayed learning rate, and the member weights differ
+        # (reseeded init through the tracked RNG stream).
+        engine = EnsembleEngine("test", tiny_image_split.train,
+                                tiny_image_split.test,
+                                retry_policy=RetryPolicy(max_retries=1,
+                                                         lr_decay=0.5))
+        rng = np.random.default_rng(0)
+        engine.track_rng(rng)
+        seen = []
+
+        from repro.models import MLP, ModelFactory
+        input_dim = int(np.prod(tiny_image_split.train.x.shape[1:]))
+        factory = ModelFactory(MLP, input_dim=input_dim,
+                               num_classes=tiny_image_split.num_classes,
+                               hidden=(8,))
+
+        def round_fn(engine, index):
+            model = factory.build(rng=np.random.default_rng(rng.integers(2**31)))
+            config = TrainingConfig(epochs=1, lr=0.1, batch_size=32)
+            logger = engine.train_member(model, tiny_image_split.train,
+                                         config, rng=index)
+            seen.append((engine.retry_attempt, logger.last("lr"),
+                         next(iter(model.parameters())).data.copy()))
+            if engine.retry_attempt == 0:
+                raise MemberDiverged("synthetic fault", round_index=index)
+            return RoundOutcome(model=model, alpha=1.0, epochs=1,
+                                train_accuracy=1.0)
+
+        result = engine.run(1, round_fn)
+
+        assert [attempt for attempt, _, _ in seen] == [0, 1]
+        assert seen[1][1] == pytest.approx(seen[0][1] * 0.5)
+        assert not np.array_equal(seen[0][2], seen[1][2])
+        assert len(result.ensemble) == 1
+        assert [f["event"] for f in result.metadata["faults"]] == ["diverged"]
+
+    def test_collapsed_accuracy_detected(self, tiny_image_split, mlp_factory):
+        # An impossible accuracy floor makes every member "collapsed";
+        # with no retries allowed the fit degrades to an empty ensemble
+        # with every round recorded as skipped — but never raises.
+        policy = RetryPolicy(max_retries=0, min_train_accuracy=1.1,
+                             grace_epochs=0)
+        result = Bagging(mlp_factory, bagging_config(num_models=2)).fit(
+            tiny_image_split.train, tiny_image_split.test, rng=0,
+            fault_tolerance=FaultTolerance(retry=policy))
+        assert len(result.ensemble) == 0
+        events = [f["event"] for f in result.metadata["faults"]]
+        assert events == ["diverged", "skipped", "diverged", "skipped"]
+        assert all("collapsed" in f["reason"] for f in result.metadata["faults"]
+                   if f["event"] == "diverged")
+
+    def test_non_finite_alpha_counts_as_divergence(self, tiny_image_split):
+        engine = EnsembleEngine("test", tiny_image_split.train,
+                                retry_policy=RetryPolicy(max_retries=0))
+
+        def round_fn(engine, index):
+            from repro.models import MLP
+            input_dim = int(np.prod(tiny_image_split.train.x.shape[1:]))
+            model = MLP(input_dim=input_dim,
+                        num_classes=tiny_image_split.num_classes, hidden=(4,))
+            return RoundOutcome(model=model, alpha=float("nan"), epochs=0,
+                                train_accuracy=1.0)
+
+        result = engine.run(1, round_fn)
+        assert len(result.ensemble) == 0
+        reasons = [f.get("reason", "") for f in result.metadata["faults"]]
+        assert any("non-finite model weight" in r for r in reasons)

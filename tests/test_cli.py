@@ -51,3 +51,50 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Single Model" in output
         assert "EDDE" in output
+
+
+class TestFaultToleranceFlags:
+    @pytest.fixture(autouse=True)
+    def tiny_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "0.13")
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(["train", "--scenario", "c10-resnet", "--resume"])
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoints_is_clean_error(self, capsys, tmp_path):
+        # Missing/corrupt checkpoints must exit non-zero with a message,
+        # never a traceback.
+        code = main(["train", "--scenario", "c10-resnet",
+                     "--checkpoint-dir", str(tmp_path / "absent"), "--resume"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: cannot resume" in err
+        assert "Traceback" not in err
+
+    def test_resume_corrupt_manifest_is_clean_error(self, capsys, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{broken")
+        code = main(["train", "--scenario", "c10-resnet",
+                     "--checkpoint-dir", str(directory), "--resume"])
+        assert code == 2
+        assert "error: cannot resume" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        assert main(["train", "--scenario", "c10-resnet", "--method", "edde",
+                     "--checkpoint-dir", directory]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "ckpt" / "manifest.json").is_file()
+
+        assert main(["train", "--scenario", "c10-resnet", "--method", "edde",
+                     "--checkpoint-dir", directory, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming edde from checkpoint round" in second
+        accuracy = [line for line in first.splitlines()
+                    if "ensemble accuracy" in line]
+        assert accuracy[0] in second
