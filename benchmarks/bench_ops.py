@@ -1,0 +1,195 @@
+"""Op-layer micro-benchmarks — per-op µs, fused-vs-unfused, EDDE rounds.
+
+Unlike the ``bench_table*``/``bench_fig*`` harnesses (which regenerate
+paper artefacts), this one measures the op layer itself:
+
+* per-op forward/backward microseconds at training-like shapes, taken
+  straight from the op profiler (the same numbers ``--profile-ops``
+  reports during a real fit);
+* the fused ``softmax_cross_entropy`` / ``edde_loss`` kernels against the
+  multi-node chains they replace — the fused path must win;
+* wall-clock seconds per EDDE boosting round on the benchmark MLP config.
+
+Results land in ``results/BENCH_ops.json`` (machine-readable) and
+``results/bench_ops.txt`` (human-readable).  Runs at the library-default
+dtype (float32 unless ``REPRO_DTYPE`` overrides).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from _common import RESULTS_DIR, emit, run_once
+
+from repro.analysis import format_table
+from repro.core.config import EDDEConfig
+from repro.core.edde import EDDETrainer
+from repro.core.losses import diversity_driven_loss
+from repro.data.synthetic_images import ImageConfig, make_image_dataset
+from repro.models import MLP, ModelFactory
+from repro.nn import functional as F
+from repro.nn.losses import cross_entropy
+from repro.ops import profile_ops
+from repro.ops.fused import use_fused
+from repro.tensor import Tensor, default_dtype
+from repro.tensor.ops import softmax
+
+RNG = np.random.default_rng(0)
+
+
+def _tensor(shape, scale=1.0):
+    data = (RNG.normal(size=shape) * scale).astype(default_dtype())
+    return Tensor(data, requires_grad=True)
+
+
+# ----------------------------------------------------------------------
+# Per-op microseconds, via the op profiler.
+
+def _op_cases():
+    """(case label, op names to report, forward builder) triples."""
+    conv_x, conv_w = _tensor((32, 16, 10, 10)), _tensor((32, 16, 3, 3), 0.1)
+    mat_a, mat_b = _tensor((64, 256)), _tensor((256, 256), 0.1)
+    wide = _tensor((64, 4096))
+    logits = _tensor((256, 100))
+    return [
+        ("matmul 64x256 @ 256x256", ("matmul",), lambda: mat_a @ mat_b),
+        ("add 64x4096", ("add",), lambda: wide + wide),
+        ("mul 64x4096", ("mul",), lambda: wide * wide),
+        ("relu 64x4096", ("relu",), lambda: wide.relu()),
+        ("tanh 64x4096", ("tanh",), lambda: wide.tanh()),
+        ("sum 64x4096 axis=1", ("sum",), lambda: wide.sum(axis=1)),
+        ("softmax 256x100", ("softmax",), lambda: softmax(logits, axis=1)),
+        ("conv2d 32x16x10x10 k3", ("conv2d",),
+         lambda: F.conv2d(conv_x, conv_w, None, padding=1)),
+        ("max_pool2d 32x16x10x10 k2", ("max_pool2d",),
+         lambda: F.max_pool2d(conv_x, 2)),
+    ]
+
+
+def _bench_micro(repeats: int = 20) -> dict:
+    """Per-op forward/backward µs-per-call from the profiler."""
+    results = {}
+    for label, names, build in _op_cases():
+        build().sum().backward()  # warm-up: registry, pools, caches
+        with profile_ops() as prof:
+            for _ in range(repeats):
+                build().sum().backward()
+        summary = prof.summary()
+        for name in names:
+            row = summary[name]
+            results[name] = {
+                "case": label,
+                "forward_us": 1e6 * row["forward_seconds"] / row["forward_calls"],
+                "backward_us": 1e6 * row["backward_seconds"] / row["backward_calls"],
+            }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fused kernels vs the unfused chains they replace.
+
+def _median_seconds(fn, repeats: int = 30) -> float:
+    fn()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _bench_fused(batch: int = 256, classes: int = 100) -> dict:
+    logits_data = (RNG.normal(size=(batch, classes)) * 2).astype(default_dtype())
+    labels = RNG.integers(0, classes, size=batch)
+    weights = RNG.uniform(0.5, 1.5, size=batch)
+    raw = RNG.uniform(0.05, 1.0, size=(batch, classes))
+    ensemble_probs = raw / raw.sum(axis=1, keepdims=True)
+
+    def step(loss_fn):
+        logits = Tensor(logits_data, requires_grad=True)
+        loss_fn(logits).backward()
+
+    cases = {
+        "softmax_cross_entropy":
+            lambda lg: cross_entropy(lg, labels, weights),
+        "edde_loss":
+            lambda lg: diversity_driven_loss(lg, labels, ensemble_probs,
+                                             0.2, weights),
+    }
+    results = {}
+    for name, loss_fn in cases.items():
+        with use_fused(True):
+            fused = _median_seconds(lambda: step(loss_fn))
+        with use_fused(False):
+            unfused = _median_seconds(lambda: step(loss_fn))
+        results[name] = {
+            "fused_us": fused * 1e6,
+            "unfused_us": unfused * 1e6,
+            "speedup": unfused / fused,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Seconds per EDDE boosting round (fused path, benchmark MLP config).
+
+def _bench_edde_rounds() -> dict:
+    config = ImageConfig(num_classes=4, image_size=8, train_size=240,
+                         test_size=120, noise_std=0.2, jitter=1,
+                         occlusion_prob=0.1, mix_prob=0.0, label_noise=0.0,
+                         prototypes_per_class=1, name="bench-ops-images")
+    split = make_image_dataset(config, rng=11)
+    input_dim = int(np.prod(split.train.x.shape[1:]))
+    factory = ModelFactory(MLP, input_dim=input_dim,
+                           num_classes=split.train.num_classes, hidden=(32,))
+    edde = EDDEConfig(num_models=3, gamma=0.2, beta=0.5,
+                      first_epochs=3, later_epochs=2, lr=0.05, batch_size=32)
+    result = EDDETrainer(factory, edde).fit(split.train, split.test, rng=3)
+    rounds = [float(s) for s in result.metadata.get("round_seconds", [])]
+    return {
+        "round_seconds": rounds,
+        "total_seconds": sum(rounds),
+        "final_accuracy": float(result.final_accuracy),
+    }
+
+
+def _render(payload: dict) -> str:
+    micro_rows = [[name, row["case"], f"{row['forward_us']:.1f}",
+                   f"{row['backward_us']:.1f}"]
+                  for name, row in payload["ops"].items()]
+    micro = format_table(["op", "shape", "fwd µs", "bwd µs"], micro_rows,
+                         title="Per-op microseconds (profiler-measured)")
+    fused_rows = [[name, f"{row['fused_us']:.1f}", f"{row['unfused_us']:.1f}",
+                   f"{row['speedup']:.2f}x"]
+                  for name, row in payload["fused"].items()]
+    fused = format_table(["loss", "fused µs", "unfused µs", "speedup"],
+                         fused_rows, title="Fused kernels vs unfused chains "
+                                           "(forward+backward)")
+    rounds = " ".join(f"{s:.2f}s" for s in payload["edde"]["round_seconds"])
+    return (f"{micro}\n\n{fused}\n\n"
+            f"EDDE rounds (MLP benchmark config): {rounds} "
+            f"(total {payload['edde']['total_seconds']:.2f}s, "
+            f"accuracy {payload['edde']['final_accuracy']:.3f})")
+
+
+def _run_bench_ops() -> dict:
+    return {
+        "dtype": np.dtype(default_dtype()).name,
+        "ops": _bench_micro(),
+        "fused": _bench_fused(),
+        "edde": _bench_edde_rounds(),
+    }
+
+
+def test_bench_ops(benchmark, capsys):
+    payload = run_once(benchmark, _run_bench_ops)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_ops.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    emit("bench_ops", _render(payload), capsys)
+    # The fused kernels replace 5+-node chains with one op; if they ever
+    # stop winning, the fusion is pure complexity and should be removed.
+    for name, row in payload["fused"].items():
+        assert row["speedup"] > 1.0, (name, row)

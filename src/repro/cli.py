@@ -60,7 +60,8 @@ def _cmd_train(args) -> int:
         print(f"resuming {args.method} from checkpoint round "
               f"{fault_tolerance.resume_from.round} in {args.checkpoint_dir}")
     result = run_method(args.method, scenario, rng=args.seed,
-                        fault_tolerance=fault_tolerance)
+                        fault_tolerance=fault_tolerance,
+                        profile_ops=args.profile_ops)
     print(f"method:            {result.method}")
     print(f"ensemble accuracy: {percent(result.final_accuracy)}")
     print(f"average member:    {percent(result.average_member_accuracy())}")
@@ -78,10 +79,33 @@ def _cmd_train(args) -> int:
         retried = sum(1 for f in faults if f["event"] == "diverged")
         print(f"faults:            {retried} diverged attempt(s), "
               f"{skipped} member(s) skipped")
+    if args.profile_ops:
+        print(_render_op_profile(result.metadata.get("op_profile", {})))
     if args.save:
         save_ensemble(result.ensemble, args.save)
         print(f"saved ensemble to {args.save}")
     return 0
+
+
+def _render_op_profile(profile: dict, top: int = 15) -> str:
+    """Render the ``op_profile`` metadata dict as a per-op table."""
+    header = (f"{'op':<24}{'fwd calls':>10}{'fwd ms':>10}"
+              f"{'bwd calls':>10}{'bwd ms':>10}{'alloc MB':>10}")
+    lines = ["op profile (top ops by total time):", header, "-" * len(header)]
+    total = 0.0
+    for name, row in list(profile.items())[:top]:
+        total += row["total_seconds"]
+        lines.append(
+            f"{name:<24}{row['forward_calls']:>10}"
+            f"{row['forward_seconds'] * 1e3:>10.2f}"
+            f"{row['backward_calls']:>10}"
+            f"{row['backward_seconds'] * 1e3:>10.2f}"
+            f"{row['output_bytes'] / 1e6:>10.2f}")
+    remaining = sum(r["total_seconds"] for r in profile.values()) - total
+    if remaining > 0:
+        lines.append(f"(+ {remaining * 1e3:.2f} ms across "
+                     f"{max(0, len(profile) - top)} other ops)")
+    return "\n".join(lines)
 
 
 def _cmd_compare(args) -> int:
@@ -140,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "--checkpoint-dir")
     train.add_argument("--max-retries", type=int, default=None,
                        help="retries per diverged member before skipping it")
+    train.add_argument("--profile-ops", action="store_true",
+                       help="collect per-op wall-clock/allocation stats "
+                            "during the fit and print a summary table")
     train.set_defaults(func=_cmd_train)
 
     compare = commands.add_parser("compare", help="compare several methods")

@@ -20,7 +20,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.ops.fused import fused_enabled
+from repro.tensor import Tensor, apply, default_dtype
 from repro.tensor.ops import l2norm, softmax
 
 _EPS = 1e-12
@@ -56,23 +57,32 @@ def diversity_driven_loss(
     labels = np.asarray(labels, dtype=np.int64)
     batch = logits.shape[0]
     if sample_weights is None:
-        weights = np.ones(batch)
+        weights = np.ones(batch, dtype=default_dtype())
     else:
-        weights = np.asarray(sample_weights, dtype=np.float64)
+        weights = np.asarray(sample_weights, dtype=default_dtype())
         if weights.shape != (batch,):
             raise ValueError(f"sample_weights must have shape ({batch},)")
-    weights_t = Tensor(weights)
 
+    targets = None
+    if ensemble_probs is not None and gamma != 0.0:
+        targets = np.asarray(ensemble_probs, dtype=default_dtype())
+        if targets.shape != tuple(logits.shape):
+            raise ValueError(
+                f"ensemble_probs shape {targets.shape} != probs shape {tuple(logits.shape)}"
+            )
+
+    if fused_enabled():
+        # One graph node for the whole of Eq. 10; its backward kernel is
+        # the paper's closed-form Eq. 11 (bit-identical to the chain).
+        return apply("edde_loss", (logits,), labels=labels, targets=targets,
+                     gamma=gamma, weights=weights)
+
+    weights_t = Tensor(weights)
     probs = softmax(logits, axis=1)
     picked = probs[np.arange(batch), labels] + _EPS
     per_sample = -picked.log()
 
-    if ensemble_probs is not None and gamma != 0.0:
-        targets = np.asarray(ensemble_probs, dtype=np.float64)
-        if targets.shape != tuple(probs.shape):
-            raise ValueError(
-                f"ensemble_probs shape {targets.shape} != probs shape {tuple(probs.shape)}"
-            )
+    if targets is not None:
         penalty = l2norm(probs - Tensor(targets), axis=1)
         per_sample = per_sample - penalty * gamma
 

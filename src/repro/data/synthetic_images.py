@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import Dataset, TrainTestSplit
+from repro.tensor import default_dtype
 from repro.utils.rng import RngLike, new_rng
 
 
@@ -167,11 +168,13 @@ def make_image_dataset(config: ImageConfig, rng: RngLike = None) -> TrainTestSpl
         y_train = y_train.copy()
         y_train[flip] = (y_train[flip] + offsets) % config.num_classes
 
-    # Normalise with train statistics (per-channel), as the CIFAR protocol does.
+    # Normalise with train statistics (per-channel), as the CIFAR protocol
+    # does.  Generation runs in float64 (Generator-native) for dtype-policy-
+    # independent draws; features are delivered in the default float dtype.
     mean = x_train.mean(axis=(0, 2, 3), keepdims=True)
     std = x_train.std(axis=(0, 2, 3), keepdims=True) + 1e-8
-    x_train = (x_train - mean) / std
-    x_test = (x_test - mean) / std
+    x_train = ((x_train - mean) / std).astype(default_dtype(), copy=False)
+    x_test = ((x_test - mean) / std).astype(default_dtype(), copy=False)
 
     return TrainTestSplit(
         train=Dataset(x_train, y_train, config.num_classes, name=f"{config.name}-train"),

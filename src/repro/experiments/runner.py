@@ -119,6 +119,7 @@ def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
                fault_tolerance: Optional[FaultTolerance] = None,
                checkpoint_dir=None, resume: bool = False,
                keep_last: int = 3, max_retries: Optional[int] = None,
+               profile_ops: bool = False,
                **overrides) -> FitResult:
     """Fit one method on a scenario; ``overrides`` adjust its config.
 
@@ -130,6 +131,10 @@ def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
     :class:`~repro.core.checkpointing.FaultTolerance`, or let the
     convenience keywords (``checkpoint_dir``/``resume``/``keep_last``/
     ``max_retries``) build one via :func:`make_fault_tolerance`.
+
+    ``profile_ops=True`` wraps the whole fit in the op profiler
+    (:func:`repro.ops.profile_ops`) and stores the per-op summary in
+    ``result.metadata["op_profile"]``.
     """
     if fault_tolerance is None:
         fault_tolerance = make_fault_tolerance(
@@ -137,32 +142,43 @@ def run_method(method: str, scenario: Scenario, rng: RngLike = 0,
             keep_last=keep_last, max_retries=max_retries)
     rng = new_rng(rng)
     train, test = scenario.split.train, scenario.split.test
-    if method == "edde":
-        config = make_edde_config(scenario, **overrides)
-        return EDDETrainer(scenario.factory, config).fit(
+
+    def dispatch() -> FitResult:
+        if method == "edde":
+            config = make_edde_config(scenario, **overrides)
+            return EDDETrainer(scenario.factory, config).fit(
+                train, test, rng=rng, callbacks=callbacks,
+                fault_tolerance=fault_tolerance)
+        if method == "ncl":
+            config = _baseline_config(scenario, cls=NCLConfig, **overrides)
+            return NegativeCorrelationLearning(scenario.factory, config).fit(
+                train, test, rng=rng, callbacks=callbacks,
+                fault_tolerance=fault_tolerance)
+        baseline_classes = {
+            "single": (SingleModel, BaselineConfig),
+            "bagging": (Bagging, BaselineConfig),
+            "adaboost_m1": (AdaBoostM1, BaselineConfig),
+            "adaboost_nc": (AdaBoostNC, AdaBoostNCConfig),
+            "snapshot": (SnapshotEnsemble, SnapshotConfig),
+            "bans": (BANs, BANsConfig),
+        }
+        if method not in baseline_classes:
+            raise ValueError(
+                f"unknown method '{method}'; known: {ALL_METHODS + ('ncl',)}")
+        method_cls, config_cls = baseline_classes[method]
+        config = _baseline_config(scenario, cls=config_cls, **overrides)
+        return method_cls(scenario.factory, config).fit(
             train, test, rng=rng, callbacks=callbacks,
             fault_tolerance=fault_tolerance)
-    if method == "ncl":
-        config = _baseline_config(scenario, cls=NCLConfig, **overrides)
-        return NegativeCorrelationLearning(scenario.factory, config).fit(
-            train, test, rng=rng, callbacks=callbacks,
-            fault_tolerance=fault_tolerance)
-    baseline_classes = {
-        "single": (SingleModel, BaselineConfig),
-        "bagging": (Bagging, BaselineConfig),
-        "adaboost_m1": (AdaBoostM1, BaselineConfig),
-        "adaboost_nc": (AdaBoostNC, AdaBoostNCConfig),
-        "snapshot": (SnapshotEnsemble, SnapshotConfig),
-        "bans": (BANs, BANsConfig),
-    }
-    if method not in baseline_classes:
-        raise ValueError(
-            f"unknown method '{method}'; known: {ALL_METHODS + ('ncl',)}")
-    method_cls, config_cls = baseline_classes[method]
-    config = _baseline_config(scenario, cls=config_cls, **overrides)
-    return method_cls(scenario.factory, config).fit(
-        train, test, rng=rng, callbacks=callbacks,
-        fault_tolerance=fault_tolerance)
+
+    if not profile_ops:
+        return dispatch()
+    from repro.ops import profile_ops as _profile_ops
+
+    with _profile_ops() as profiler:
+        result = dispatch()
+    result.metadata["op_profile"] = profiler.summary()
+    return result
 
 
 def run_effectiveness(scenario: Scenario,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 from repro.tensor.ops import concatenate
 from repro.utils.rng import RngLike, new_rng
 
@@ -118,7 +118,7 @@ class DenseNetCIFAR(nn.Module):
 
     def forward(self, x) -> Tensor:
         if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x, dtype=np.float64))
+            x = Tensor(np.asarray(x, dtype=default_dtype()))
         out = self.stem(x)
         out = self.trans1(self.block1(out))
         out = self.trans2(self.block2(out))

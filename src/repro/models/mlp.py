@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import nn
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 from repro.utils.rng import RngLike, new_rng
 
 
@@ -36,7 +36,7 @@ class MLP(nn.Module):
 
     def forward(self, x) -> Tensor:
         if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x, dtype=np.float64))
+            x = Tensor(np.asarray(x, dtype=default_dtype()))
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         return self.body(x)

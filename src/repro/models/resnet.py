@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 from repro.utils.rng import RngLike, new_rng
 
 
@@ -95,7 +95,7 @@ class ResNetCIFAR(nn.Module):
 
     def forward(self, x) -> Tensor:
         if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x, dtype=np.float64))
+            x = Tensor(np.asarray(x, dtype=default_dtype()))
         out = self.stem(x)
         out = self.stage1(out)
         out = self.stage2(out)

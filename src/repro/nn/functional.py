@@ -1,57 +1,21 @@
 """Differentiable layer primitives implemented as fused autograd ops.
 
-Convolution and pooling are written as single ops (rather than compositions
+Convolution and pooling are single registry ops (rather than compositions
 of Tensor primitives) because they dominate training time; their backward
-passes are hand-derived and covered by finite-difference tests.
+kernels are hand-derived and covered by finite-difference tests.  The
+kernels live in :mod:`repro.ops.conv` and reuse pooled im2col workspaces
+(:mod:`repro.ops.workspace`), so the hot patch-matrix allocation is made
+once per shape rather than once per call.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, apply
 from repro.tensor.ops import pad1d, pad2d
-
-
-def _conv_output_size(size: int, kernel: int, stride: int) -> int:
-    return (size - kernel) // stride + 1
-
-
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """Unfold (N, C, H, W) into (N, C*kh*kw, out_h*out_w) patch columns."""
-    n, c, h, w = x.shape
-    out_h = _conv_output_size(h, kh, stride)
-    out_w = _conv_output_size(w, kw, stride)
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            cols[:, :, i, j] = x[:, :, i:i_max:stride, j:j_max:stride]
-    return cols.reshape(n, c * kh * kw, out_h * out_w)
-
-
-def _col2im(
-    cols: np.ndarray,
-    x_shape: Tuple[int, int, int, int],
-    kh: int,
-    kw: int,
-    stride: int,
-) -> np.ndarray:
-    """Fold patch columns back onto the (padded) input, summing overlaps."""
-    n, c, h, w = x_shape
-    out_h = _conv_output_size(h, kh, stride)
-    out_w = _conv_output_size(w, kw, stride)
-    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    x = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
-    return x
 
 
 def conv2d(
@@ -64,34 +28,12 @@ def conv2d(
     """2D convolution over NCHW input with an (F, C, KH, KW) kernel."""
     if padding:
         x = pad2d(x, padding)
-    n, c, h, w = x.shape
-    f, c_w, kh, kw = weight.shape
+    c = x.shape[1]
+    c_w = weight.shape[1]
     if c != c_w:
         raise ValueError(f"channel mismatch: input has {c}, kernel expects {c_w}")
-    out_h = _conv_output_size(h, kh, stride)
-    out_w = _conv_output_size(w, kw, stride)
-
-    cols = _im2col(x.data, kh, kw, stride)             # (N, C*KH*KW, L)
-    w_mat = weight.data.reshape(f, -1)                 # (F, C*KH*KW)
-    out = w_mat @ cols                                  # (N, F, L) via BLAS
-    if bias is not None:
-        out += bias.data.reshape(1, f, 1)
-    out = out.reshape(n, f, out_h, out_w)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward(g):
-        g_mat = np.ascontiguousarray(g.reshape(n, f, out_h * out_w))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(g_mat.sum(axis=(0, 2)))
-        if weight.requires_grad:
-            grad_w = (g_mat @ cols.transpose(0, 2, 1)).sum(axis=0)
-            weight._accumulate(grad_w.reshape(weight.shape))
-        if x.requires_grad:
-            grad_cols = w_mat.T @ g_mat
-            x._accumulate(_col2im(grad_cols, (n, c, h, w), kh, kw, stride))
-
-    return Tensor._make(out, parents, backward, "conv2d")
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+    return apply("conv2d", inputs, stride=stride)
 
 
 def conv1d(
@@ -104,97 +46,22 @@ def conv1d(
     """1D convolution over (N, C, L) input — the TextCNN workhorse."""
     if padding:
         x = pad1d(x, padding)
-    n, c, length = x.shape
-    f, c_w, k = weight.shape
+    c = x.shape[1]
+    c_w = weight.shape[1]
     if c != c_w:
         raise ValueError(f"channel mismatch: input has {c}, kernel expects {c_w}")
-    out_l = _conv_output_size(length, k, stride)
-
-    cols = np.empty((n, c, k, out_l), dtype=x.data.dtype)
-    for i in range(k):
-        cols[:, :, i] = x.data[:, :, i:i + stride * out_l:stride]
-    cols = cols.reshape(n, c * k, out_l)
-    w_mat = weight.data.reshape(f, -1)
-    out = w_mat @ cols                                  # (N, F, L) via BLAS
-    if bias is not None:
-        out = out + bias.data.reshape(1, f, 1)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward(g):
-        g = np.ascontiguousarray(g)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(g.sum(axis=(0, 2)))
-        if weight.requires_grad:
-            grad_w = (g @ cols.transpose(0, 2, 1)).sum(axis=0)
-            weight._accumulate(grad_w.reshape(weight.shape))
-        if x.requires_grad:
-            grad_cols = (w_mat.T @ g).reshape(n, c, k, out_l)
-            grad_x = np.zeros((n, c, length), dtype=g.dtype)
-            for i in range(k):
-                grad_x[:, :, i:i + stride * out_l:stride] += grad_cols[:, :, i]
-            x._accumulate(grad_x)
-
-    return Tensor._make(out, parents, backward, "conv1d")
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+    return apply("conv1d", inputs, stride=stride)
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     """Max pooling over NCHW input."""
-    stride = stride or kernel
-    n, c, h, w = x.shape
-    out_h = _conv_output_size(h, kernel, stride)
-    out_w = _conv_output_size(w, kernel, stride)
-
-    cols = np.empty((n, c, kernel * kernel, out_h, out_w), dtype=x.data.dtype)
-    for i in range(kernel):
-        for j in range(kernel):
-            cols[:, :, i * kernel + j] = x.data[
-                :, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride
-            ]
-    argmax = cols.argmax(axis=2)
-    out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
-
-    def backward(g):
-        if not x.requires_grad:
-            return
-        grad_cols = np.zeros_like(cols)
-        np.put_along_axis(grad_cols, argmax[:, :, None], g[:, :, None], axis=2)
-        grad_x = np.zeros_like(x.data)
-        for i in range(kernel):
-            for j in range(kernel):
-                grad_x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += (
-                    grad_cols[:, :, i * kernel + j]
-                )
-        x._accumulate(grad_x)
-
-    return Tensor._make(out, (x,), backward, "max_pool2d")
+    return apply("max_pool2d", (x,), kernel=kernel, stride=stride or kernel)
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     """Average pooling over NCHW input (ResNet's downsampling shortcut)."""
-    stride = stride or kernel
-    n, c, h, w = x.shape
-    out_h = _conv_output_size(h, kernel, stride)
-    out_w = _conv_output_size(w, kernel, stride)
-    scale = 1.0 / (kernel * kernel)
-
-    out = np.zeros((n, c, out_h, out_w), dtype=x.data.dtype)
-    for i in range(kernel):
-        for j in range(kernel):
-            out += x.data[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride]
-    out *= scale
-
-    def backward(g):
-        if not x.requires_grad:
-            return
-        grad_x = np.zeros_like(x.data)
-        scaled = g * scale
-        for i in range(kernel):
-            for j in range(kernel):
-                grad_x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += scaled
-        x._accumulate(grad_x)
-
-    return Tensor._make(out, (x,), backward, "avg_pool2d")
+    return apply("avg_pool2d", (x,), kernel=kernel, stride=stride or kernel)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -217,10 +84,4 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Te
     """Inverted dropout: identity in eval mode."""
     if not training or p <= 0.0:
         return x
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
-
-    def backward(g):
-        if x.requires_grad:
-            x._accumulate(g * mask)
-
-    return Tensor._make(x.data * mask, (x,), backward, "dropout")
+    return apply("dropout", (x,), p=p, rng=rng)

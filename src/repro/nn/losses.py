@@ -16,14 +16,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.ops.fused import fused_enabled
+from repro.tensor import Tensor, apply, default_dtype
 from repro.tensor.ops import log_softmax, softmax
 
 
 def _sample_weights(weights: Optional[np.ndarray], batch: int) -> np.ndarray:
     if weights is None:
-        return np.full(batch, 1.0 / batch)
-    weights = np.asarray(weights, dtype=np.float64)
+        return np.full(batch, 1.0 / batch, dtype=default_dtype())
+    weights = np.asarray(weights, dtype=default_dtype())
     if weights.shape != (batch,):
         raise ValueError(f"expected weights of shape ({batch},), got {weights.shape}")
     return weights
@@ -36,10 +37,17 @@ def cross_entropy(logits: Tensor, labels: np.ndarray,
     ``weights`` are *absolute* per-sample weights: the returned loss is
     ``sum_i w_i * CE_i``.  With the default uniform ``1/N`` weights this
     is the ordinary mean cross-entropy.
+
+    Dispatches the fused ``softmax_cross_entropy`` kernel (one graph node
+    instead of five; bit-identical arithmetic) unless fused kernels are
+    toggled off via :func:`repro.ops.fused.use_fused`.
     """
     labels = np.asarray(labels, dtype=np.int64)
     batch = logits.shape[0]
     weights = _sample_weights(weights, batch)
+    if fused_enabled():
+        return apply("softmax_cross_entropy", (logits,),
+                     labels=labels, weights=weights)
     log_probs = log_softmax(logits, axis=1)
     picked = log_probs[np.arange(batch), labels]
     return -(picked * Tensor(weights)).sum()
@@ -72,7 +80,7 @@ def distillation_loss(logits: Tensor, labels: np.ndarray,
     batch = logits.shape[0]
     weights = _sample_weights(weights, batch)
     hard = cross_entropy(logits, labels, weights)
-    teacher = np.asarray(teacher_probs, dtype=np.float64)
+    teacher = np.asarray(teacher_probs, dtype=default_dtype())
     if temperature != 1.0:
         sharpened = teacher ** (1.0 / temperature)
         teacher = sharpened / sharpened.sum(axis=1, keepdims=True)
@@ -92,17 +100,23 @@ def predict_probs(model, x, batch_size: int = 256) -> np.ndarray:
 
     ``x`` may be a numpy array (images: NCHW floats, text: int token ids).
     Batched so ensembles of many models stay memory-bounded.
+
+    Runs under :func:`repro.tensor.inference_mode`: registry forwards
+    execute on raw arrays wrapped in graph-free ``ArrayView`` tensors, so
+    no autograd bookkeeping (closures, parent links, contexts) is built.
+    Ensemble evaluation calls this for every member every round, which is
+    why the fast path exists.
     """
-    from repro.tensor import no_grad
+    from repro.tensor import ArrayView, inference_mode
 
     was_training = model.training
     model.eval()
     outputs = []
     try:
-        with no_grad():
+        with inference_mode():
             for start in range(0, len(x), batch_size):
-                chunk = x[start:start + batch_size]
-                inputs = chunk if np.issubdtype(np.asarray(chunk).dtype, np.integer) else Tensor(chunk)
+                chunk = np.asarray(x[start:start + batch_size])
+                inputs = chunk if np.issubdtype(chunk.dtype, np.integer) else ArrayView(chunk)
                 logits = model(inputs)
                 outputs.append(softmax(logits, axis=1).data)
     finally:

@@ -19,14 +19,21 @@ from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 
 
 class Parameter(Tensor):
-    """A trainable tensor (``requires_grad=True`` leaf)."""
+    """A trainable tensor (``requires_grad=True`` leaf).
+
+    Parameters are always stored in the library's default float dtype
+    (see :mod:`repro.tensor.dtypes`), which keeps every model uniformly
+    float32 (or float64 under the test-suite pin) regardless of the
+    dtype the initialiser produced.
+    """
 
     def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+        super().__init__(np.asarray(data, dtype=default_dtype()),
+                         requires_grad=True)
 
 
 class Module:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 
 
 class _BatchNorm(Module):
@@ -23,8 +23,8 @@ class _BatchNorm(Module):
         self.gamma = Parameter(np.ones(num_features))
         self.beta = Parameter(np.zeros(num_features))
         object.__setattr__(self, "_buffers", {
-            "running_mean": np.zeros(num_features),
-            "running_var": np.ones(num_features),
+            "running_mean": np.zeros(num_features, dtype=default_dtype()),
+            "running_var": np.ones(num_features, dtype=default_dtype()),
         })
 
     def reinitialize(self, rng: np.random.Generator) -> None:

@@ -1,0 +1,89 @@
+"""Arithmetic kernels: add/sub/mul/div/neg/pow/matmul.
+
+Backward arithmetic mirrors the pre-registry closure implementations
+operation-for-operation — golden-run parity depends on it.  Broadcasting
+is resolved by the caller's gradient accumulation (``_sum_to_shape``), so
+kernels return gradients in the *output* shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.registry import register
+
+
+def _add_forward(ctx, x, y):
+    return x + y
+
+
+def _add_backward(ctx, g):
+    return (g, g)
+
+
+def _neg_forward(ctx, x):
+    return -x
+
+
+def _neg_backward(ctx, g):
+    return (-g,)
+
+
+def _sub_forward(ctx, x, y):
+    return x - y
+
+
+def _sub_backward(ctx, g):
+    return (g, -g)
+
+
+def _mul_forward(ctx, x, y):
+    ctx.x, ctx.y = x, y
+    return x * y
+
+
+def _mul_backward(ctx, g):
+    needs = ctx.needs
+    return (g * ctx.y if needs[0] else None,
+            g * ctx.x if needs[1] else None)
+
+
+def _div_forward(ctx, x, y):
+    ctx.x, ctx.y = x, y
+    return x / y
+
+
+def _div_backward(ctx, g):
+    needs = ctx.needs
+    return (g / ctx.y if needs[0] else None,
+            -g * ctx.x / (ctx.y ** 2) if needs[1] else None)
+
+
+def _pow_forward(ctx, x, exponent):
+    ctx.x, ctx.exponent = x, exponent
+    return x ** exponent
+
+
+def _pow_backward(ctx, g):
+    exponent = ctx.exponent
+    return (g * exponent * ctx.x ** (exponent - 1),)
+
+
+def _matmul_forward(ctx, x, y):
+    ctx.x, ctx.y = x, y
+    return x @ y
+
+
+def _matmul_backward(ctx, g):
+    needs = ctx.needs
+    return (g @ np.swapaxes(ctx.y, -1, -2) if needs[0] else None,
+            np.swapaxes(ctx.x, -1, -2) @ g if needs[1] else None)
+
+
+register("add", _add_forward, _add_backward)
+register("neg", _neg_forward, _neg_backward)
+register("sub", _sub_forward, _sub_backward)
+register("mul", _mul_forward, _mul_backward)
+register("div", _div_forward, _div_backward)
+register("pow", _pow_forward, _pow_backward)
+register("matmul", _matmul_forward, _matmul_backward)

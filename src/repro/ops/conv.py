@@ -1,0 +1,209 @@
+"""Convolution and pooling kernels with pooled im2col workspaces.
+
+Padding is *not* handled here: the :mod:`repro.nn.functional` wrappers
+apply the (differentiable) ``pad1d``/``pad2d`` ops first, exactly as the
+pre-registry implementation did, so the autograd graph and arithmetic are
+unchanged.  The im2col patch matrix — the hottest allocation in training —
+is checked out of :mod:`repro.ops.workspace` and recorded in
+``ctx.workspaces``; the tensor dispatcher returns it to the pool after
+backward (or immediately when untaped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops import workspace
+from repro.ops.registry import register
+
+
+def _conv_output_size(size: int, kernel: int, stride: int) -> int:
+    return (size - kernel) // stride + 1
+
+
+def _im2col_pooled(x: np.ndarray, kh: int, kw: int, stride: int):
+    """Unfold (N, C, H, W) into (N, C*kh*kw, L) using a pooled buffer.
+
+    Returns ``(cols, buffer)`` where ``cols`` is a reshaped view of the
+    pooled ``buffer``; the caller owns the buffer until it is released.
+    """
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kh, stride)
+    out_w = _conv_output_size(w, kw, stride)
+    buffer = workspace.acquire((n, c, kh, kw, out_h, out_w), x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            buffer[:, :, i, j] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return buffer.reshape(n, c * kh * kw, out_h * out_w), buffer
+
+
+def _col2im(cols, x_shape, kh, kw, stride):
+    """Fold patch columns back onto the input, summing overlaps."""
+    n, c, h, w = x_shape
+    out_h = _conv_output_size(h, kh, stride)
+    out_w = _conv_output_size(w, kw, stride)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    return x
+
+
+def _conv2d_forward(ctx, x, weight, *rest, stride):
+    bias = rest[0] if rest else None
+    n, c, h, w = x.shape
+    f, _, kh, kw = weight.shape
+    out_h = _conv_output_size(h, kh, stride)
+    out_w = _conv_output_size(w, kw, stride)
+
+    cols, buffer = _im2col_pooled(x, kh, kw, stride)   # (N, C*KH*KW, L)
+    w_mat = weight.reshape(f, -1)                      # (F, C*KH*KW)
+    out = w_mat @ cols                                 # (N, F, L) via BLAS
+    if bias is not None:
+        out += bias.reshape(1, f, 1)
+
+    ctx.workspaces = (buffer,)
+    ctx.cols = cols
+    ctx.w_mat = w_mat
+    ctx.weight_shape = weight.shape
+    ctx.x_shape = (n, c, h, w)
+    ctx.dims = (n, f, out_h, out_w, kh, kw, stride)
+    return out.reshape(n, f, out_h, out_w)
+
+
+def _conv2d_backward(ctx, g):
+    n, f, out_h, out_w, kh, kw, stride = ctx.dims
+    needs = ctx.needs
+    g_mat = np.ascontiguousarray(g.reshape(n, f, out_h * out_w))
+    grad_b = g_mat.sum(axis=(0, 2)) if len(needs) > 2 and needs[2] else None
+    grad_w = None
+    if needs[1]:
+        grad_w = (g_mat @ ctx.cols.transpose(0, 2, 1)).sum(axis=0)
+        grad_w = grad_w.reshape(ctx.weight_shape)
+    grad_x = None
+    if needs[0]:
+        grad_cols = ctx.w_mat.T @ g_mat
+        grad_x = _col2im(grad_cols, ctx.x_shape, kh, kw, stride)
+    if len(needs) > 2:
+        return (grad_x, grad_w, grad_b)
+    return (grad_x, grad_w)
+
+
+def _conv1d_forward(ctx, x, weight, *rest, stride):
+    bias = rest[0] if rest else None
+    n, c, length = x.shape
+    f, _, k = weight.shape
+    out_l = _conv_output_size(length, k, stride)
+
+    buffer = workspace.acquire((n, c, k, out_l), x.dtype)
+    for i in range(k):
+        buffer[:, :, i] = x[:, :, i:i + stride * out_l:stride]
+    cols = buffer.reshape(n, c * k, out_l)
+    w_mat = weight.reshape(f, -1)
+    out = w_mat @ cols                                 # (N, F, L) via BLAS
+    if bias is not None:
+        out = out + bias.reshape(1, f, 1)
+
+    ctx.workspaces = (buffer,)
+    ctx.cols = cols
+    ctx.w_mat = w_mat
+    ctx.weight_shape = weight.shape
+    ctx.dims = (n, c, length, f, k, out_l, stride)
+    return out
+
+
+def _conv1d_backward(ctx, g):
+    n, c, length, f, k, out_l, stride = ctx.dims
+    needs = ctx.needs
+    g = np.ascontiguousarray(g)
+    grad_b = g.sum(axis=(0, 2)) if len(needs) > 2 and needs[2] else None
+    grad_w = None
+    if needs[1]:
+        grad_w = (g @ ctx.cols.transpose(0, 2, 1)).sum(axis=0)
+        grad_w = grad_w.reshape(ctx.weight_shape)
+    grad_x = None
+    if needs[0]:
+        grad_cols = (ctx.w_mat.T @ g).reshape(n, c, k, out_l)
+        grad_x = np.zeros((n, c, length), dtype=g.dtype)
+        for i in range(k):
+            grad_x[:, :, i:i + stride * out_l:stride] += grad_cols[:, :, i]
+    if len(needs) > 2:
+        return (grad_x, grad_w, grad_b)
+    return (grad_x, grad_w)
+
+
+def _max_pool2d_forward(ctx, x, kernel, stride):
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride)
+    out_w = _conv_output_size(w, kernel, stride)
+
+    cols = workspace.acquire((n, c, kernel * kernel, out_h, out_w), x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            cols[:, :, i * kernel + j] = x[
+                :, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride
+            ]
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+    # Backward needs only the argmax and shapes, so the patch buffer goes
+    # straight back to the pool.
+    workspace.release(cols)
+
+    ctx.argmax = argmax
+    ctx.cols_shape = (n, c, kernel * kernel, out_h, out_w)
+    ctx.x_shape = x.shape
+    ctx.dtype = x.dtype
+    ctx.dims = (kernel, stride, out_h, out_w)
+    return out
+
+
+def _max_pool2d_backward(ctx, g):
+    kernel, stride, out_h, out_w = ctx.dims
+    grad_cols = np.zeros(ctx.cols_shape, dtype=ctx.dtype)
+    np.put_along_axis(grad_cols, ctx.argmax[:, :, None], g[:, :, None], axis=2)
+    grad_x = np.zeros(ctx.x_shape, dtype=ctx.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            grad_x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += (
+                grad_cols[:, :, i * kernel + j]
+            )
+    return (grad_x,)
+
+
+def _avg_pool2d_forward(ctx, x, kernel, stride):
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride)
+    out_w = _conv_output_size(w, kernel, stride)
+    scale = 1.0 / (kernel * kernel)
+
+    out = np.zeros((n, c, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            out += x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride]
+    out *= scale
+
+    ctx.x_shape = x.shape
+    ctx.dtype = x.dtype
+    ctx.dims = (kernel, stride, out_h, out_w, scale)
+    return out
+
+
+def _avg_pool2d_backward(ctx, g):
+    kernel, stride, out_h, out_w, scale = ctx.dims
+    grad_x = np.zeros(ctx.x_shape, dtype=ctx.dtype)
+    scaled = g * scale
+    for i in range(kernel):
+        for j in range(kernel):
+            grad_x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += scaled
+    return (grad_x,)
+
+
+register("conv2d", _conv2d_forward, _conv2d_backward)
+register("conv1d", _conv1d_forward, _conv1d_backward)
+register("max_pool2d", _max_pool2d_forward, _max_pool2d_backward)
+register("avg_pool2d", _avg_pool2d_forward, _avg_pool2d_backward)

@@ -1,0 +1,99 @@
+"""Elementwise kernels: nonlinearities, clip, dropout, where."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.registry import register
+
+
+def _exp_forward(ctx, x):
+    out = np.exp(x)
+    ctx.out = out
+    return out
+
+
+def _exp_backward(ctx, g):
+    return (g * ctx.out,)
+
+
+def _log_forward(ctx, x):
+    ctx.x = x
+    return np.log(x)
+
+
+def _log_backward(ctx, g):
+    return (g / ctx.x,)
+
+
+def _tanh_forward(ctx, x):
+    out = np.tanh(x)
+    ctx.out = out
+    return out
+
+
+def _tanh_backward(ctx, g):
+    return (g * (1.0 - ctx.out ** 2),)
+
+
+def _sigmoid_forward(ctx, x):
+    out = 1.0 / (1.0 + np.exp(-x))
+    ctx.out = out
+    return out
+
+
+def _sigmoid_backward(ctx, g):
+    out = ctx.out
+    return (g * out * (1.0 - out),)
+
+
+def _relu_forward(ctx, x):
+    mask = x > 0
+    ctx.mask = mask
+    return x * mask
+
+
+def _relu_backward(ctx, g):
+    return (g * ctx.mask,)
+
+
+def _clip_forward(ctx, x, low, high):
+    ctx.mask = (x >= low) & (x <= high)
+    return np.clip(x, low, high)
+
+
+def _clip_backward(ctx, g):
+    return (g * ctx.mask,)
+
+
+def _dropout_forward(ctx, x, p, rng):
+    """Inverted dropout; the eval-mode identity is handled by the caller."""
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    ctx.mask = mask
+    return x * mask
+
+
+def _dropout_backward(ctx, g):
+    return (g * ctx.mask,)
+
+
+def _where_forward(ctx, a, b, condition):
+    ctx.condition = condition
+    return np.where(condition, a, b)
+
+
+def _where_backward(ctx, g):
+    needs = ctx.needs
+    condition = ctx.condition
+    return (np.where(condition, g, 0.0) if needs[0] else None,
+            np.where(condition, 0.0, g) if needs[1] else None)
+
+
+register("exp", _exp_forward, _exp_backward)
+register("log", _log_forward, _log_backward)
+register("tanh", _tanh_forward, _tanh_backward)
+register("sigmoid", _sigmoid_forward, _sigmoid_backward)
+register("relu", _relu_forward, _relu_backward)
+register("clip", _clip_forward, _clip_backward)
+register("dropout", _dropout_forward, _dropout_backward)
+register("where", _where_forward, _where_backward)

@@ -1,0 +1,30 @@
+"""The inference fast-path switch.
+
+When enabled (together with :func:`repro.tensor.no_grad`), the tensor
+dispatcher runs registry forwards on raw ndarrays and wraps results in
+lightweight graph-free views instead of full ``Tensor`` nodes.  The flag
+lives here — below the tensor layer — so kernels and the dispatcher can
+consult it without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+_state = threading.local()
+
+
+def fastpath_enabled() -> bool:
+    return getattr(_state, "fastpath", False)
+
+
+@contextlib.contextmanager
+def _fastpath(enabled: bool = True):
+    """Internal toggle; use :func:`repro.tensor.inference_mode` instead."""
+    previous = fastpath_enabled()
+    _state.fastpath = enabled
+    try:
+        yield
+    finally:
+        _state.fastpath = previous

@@ -6,19 +6,36 @@ engine.  :class:`~repro.tensor.tensor.Tensor` wraps a numpy array and records
 the operations applied to it on a tape; calling :meth:`Tensor.backward`
 propagates gradients back through the tape.
 
-The op surface is intentionally small but complete enough to express every
-model in the paper (ResNet, DenseNet, TextCNN) and the diversity-driven loss
-(Eq. 10/11 of the paper), whose gradient is exercised directly through the
-``l2norm`` op.
+Since the registry refactor, the op surface is defined by named kernels in
+:mod:`repro.ops` and dispatched through :func:`~repro.tensor.tensor.apply`;
+the methods on ``Tensor`` and the free functions in
+:mod:`repro.tensor.ops` are thin wrappers.  The surface is intentionally
+small but complete enough to express every model in the paper (ResNet,
+DenseNet, TextCNN) and the diversity-driven loss (Eq. 10/11), which also
+has a fused kernel (:mod:`repro.ops.fused`).
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import (
+    ArrayView,
+    Tensor,
+    apply,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+)
+from repro.tensor.dtypes import default_dtype, dtype_scope, set_default_dtype
 from repro.tensor.grad_check import gradcheck, numeric_gradient
 
 __all__ = [
+    "ArrayView",
     "Tensor",
-    "no_grad",
-    "is_grad_enabled",
+    "apply",
+    "default_dtype",
+    "dtype_scope",
     "gradcheck",
+    "inference_mode",
+    "is_grad_enabled",
+    "no_grad",
     "numeric_gradient",
+    "set_default_dtype",
 ]

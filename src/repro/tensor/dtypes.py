@@ -1,0 +1,52 @@
+"""The single dtype policy for the whole stack.
+
+Every float array the library creates from non-array data (python lists,
+scalars, integer arrays) uses :func:`default_dtype`; float arrays passed
+in keep their dtype.  The default is float32 — the dtype the paper's
+Keras/TensorFlow models train in — and can be overridden:
+
+* process-wide via the ``REPRO_DTYPE`` environment variable,
+* programmatically via :func:`set_default_dtype`,
+* locally via the :func:`dtype_scope` context manager.
+
+The test-suite pins float64 (see ``tests/conftest.py``) so golden-run
+fingerprints stay stable and finite-difference gradient checks remain
+tight; gradcheck always runs in float64 regardless of the default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+_DEFAULT: np.dtype = np.dtype(os.environ.get("REPRO_DTYPE", "float32"))
+if _DEFAULT.kind != "f":
+    raise ValueError(f"REPRO_DTYPE must name a float dtype, got {_DEFAULT}")
+
+
+def default_dtype() -> np.dtype:
+    """The dtype used when the library materialises new float arrays."""
+    return _DEFAULT
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide default float dtype; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a float dtype, got {resolved}")
+    _DEFAULT = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype):
+    """Temporarily switch the default float dtype within a block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)

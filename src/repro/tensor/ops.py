@@ -9,6 +9,9 @@ normalisation operations the paper's models need:
 * ``softmax`` / ``log_softmax`` — soft targets (the paper's `h_t(x)`).
 * ``l2norm`` — per-sample ``||h_t(x) - H_{t-1}(x)||_2``, the penalty in the
   diversity-driven loss (paper Eq. 9/10) whose gradient is Eq. 11.
+
+All of them are thin wrappers dispatching registry kernels (see
+:mod:`repro.ops`) through :func:`repro.tensor.tensor.apply`.
 """
 
 from __future__ import annotations
@@ -17,24 +20,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, apply
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
     """Differentiably concatenate tensors along ``axis``."""
-    tensors = [Tensor.ensure(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(g):
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if tensor.requires_grad:
-                index = [slice(None)] * g.ndim
-                index[axis] = slice(start, stop)
-                tensor._accumulate(g[tuple(index)])
-
-    return Tensor._make(data, tensors, backward, "concat")
+    return apply("concat", tuple(Tensor.ensure(t) for t in tensors), axis=axis)
 
 
 def pad1d(x: Tensor, padding: int) -> Tensor:
@@ -45,56 +36,24 @@ def pad1d(x: Tensor, padding: int) -> Tensor:
     """
     if padding == 0:
         return x
-    pad_width = ((0, 0), (0, 0), (padding, padding))
-    data = np.pad(x.data, pad_width)
-
-    def backward(g):
-        if x.requires_grad:
-            x._accumulate(g[:, :, padding:-padding])
-
-    return Tensor._make(data, (x,), backward, "pad1d")
+    return apply("pad1d", (x,), padding=padding)
 
 
 def pad2d(x: Tensor, padding: int) -> Tensor:
     """Zero-pad the two trailing spatial dims of an NCHW tensor."""
     if padding == 0:
         return x
-    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
-    data = np.pad(x.data, pad_width)
-
-    def backward(g):
-        if x.requires_grad:
-            x._accumulate(g[:, :, padding:-padding, padding:-padding])
-
-    return Tensor._make(data, (x,), backward, "pad2d")
+    return apply("pad2d", (x,), padding=padding)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
-
-    def backward(g):
-        if x.requires_grad:
-            dot = (g * out_data).sum(axis=axis, keepdims=True)
-            x._accumulate(out_data * (g - dot))
-
-    return Tensor._make(out_data, (x,), backward, "softmax")
+    return apply("softmax", (x,), axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_norm
-    probs = np.exp(out_data)
-
-    def backward(g):
-        if x.requires_grad:
-            x._accumulate(g - probs * g.sum(axis=axis, keepdims=True))
-
-    return Tensor._make(out_data, (x,), backward, "log_softmax")
+    return apply("log_softmax", (x,), axis=axis)
 
 
 def l2norm(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
@@ -104,39 +63,16 @@ def l2norm(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     keeps the gradient finite when a base model exactly matches the
     ensemble output (it happens on one-hot saturated predictions).
     """
-    norm = np.sqrt((x.data ** 2).sum(axis=axis) + eps)
-
-    def backward(g):
-        if x.requires_grad:
-            grad = np.expand_dims(g / norm, axis) * x.data
-            x._accumulate(grad)
-
-    return Tensor._make(norm, (x,), backward, "l2norm")
+    return apply("l2norm", (x,), axis=axis, eps=eps)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiably stack tensors along a new axis."""
-    tensors = [Tensor.ensure(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(g):
-        for position, tensor in enumerate(tensors):
-            if tensor.requires_grad:
-                tensor._accumulate(np.take(g, position, axis=axis))
-
-    return Tensor._make(data, tensors, backward, "stack")
+    return apply("stack", tuple(Tensor.ensure(t) for t in tensors), axis=axis)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable elementwise selection; ``condition`` is constant."""
-    a = Tensor.ensure(a)
-    b = Tensor.ensure(b)
     condition = np.asarray(condition, dtype=bool)
-
-    def backward(g):
-        if a.requires_grad:
-            a._accumulate(np.where(condition, g, 0.0))
-        if b.requires_grad:
-            b._accumulate(np.where(condition, 0.0, g))
-
-    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward, "where")
+    return apply("where", (Tensor.ensure(a), Tensor.ensure(b)),
+                 condition=condition)

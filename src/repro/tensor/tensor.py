@@ -2,23 +2,44 @@
 
 Design notes
 ------------
-* Every differentiable operation creates a new ``Tensor`` whose ``_parents``
-  hold references to its inputs and whose ``_backward`` closure knows how to
-  push the output gradient into the parents' ``grad`` buffers.
-* ``backward()`` topologically sorts the tape and runs the closures once.
-* Gradients accumulate (``+=``), so a tensor used twice receives the sum of
-  both contributions — required by residual and dense connectivity.
-* A module-level switch (:func:`no_grad`) disables taping for inference,
-  which matters because ensemble evaluation dominates benchmark runtime.
+* Every differentiable operation dispatches through the op registry
+  (:mod:`repro.ops.registry`): :func:`apply` looks up the named kernel,
+  runs its ``forward`` on the raw arrays, and records the resulting
+  :class:`~repro.ops.registry.OpContext` on the output tensor.
+* ``backward()`` topologically sorts the tape and runs each op's
+  registered ``backward`` kernel once, accumulating the returned
+  gradients into the parents.  The tape is freed as it is consumed:
+  once a node's backward has run, its parent links and saved context are
+  dropped so intermediate activations become collectable immediately.
+* Gradients accumulate (``+=``), so a tensor used twice receives the sum
+  of both contributions — required by residual and dense connectivity.
+* A module-level switch (:func:`no_grad`) disables taping for inference;
+  :func:`inference_mode` additionally routes kernel outputs into
+  lightweight :class:`ArrayView` wrappers that skip all graph
+  bookkeeping, which matters because ensemble evaluation dominates
+  benchmark runtime.
+* Dtype policy lives in :mod:`repro.tensor.dtypes`: float arrays keep
+  their dtype, everything else is materialised as the default float
+  dtype (float32 unless overridden; the test-suite pins float64).
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.ops import fastpath as _fastpath_mod
+from repro.ops import profiler as _profiler
+from repro.ops import workspace as _workspace
+from repro.ops.registry import OpContext, get_op
+from repro.tensor.dtypes import default_dtype
+
+# Importing the package registers every kernel module.
+import repro.ops  # noqa: F401  (registration side effect)
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -41,9 +62,25 @@ def no_grad():
         _state.grad_enabled = previous
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
-    array = np.asarray(data, dtype=dtype)
-    return array
+@contextlib.contextmanager
+def inference_mode():
+    """``no_grad`` plus the registry fast path.
+
+    Inside this context, op outputs are wrapped in :class:`ArrayView` —
+    graph-free tensors created without any autograd bookkeeping — so a
+    forward pass is essentially a chain of raw numpy kernel calls.
+    """
+    with no_grad(), _fastpath_mod._fastpath(True):
+        yield
+
+
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    if dtype is not None:
+        return np.asarray(data, dtype=dtype)
+    existing = getattr(data, "dtype", None)
+    if existing is not None and existing.kind == "f":
+        return np.asarray(data)
+    return np.asarray(data, dtype=default_dtype())
 
 
 def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -60,50 +97,77 @@ def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def apply(name: str, inputs: Tuple["Tensor", ...], **params) -> "Tensor":
+    """Dispatch op ``name`` on ``inputs`` through the registry.
+
+    Runs the registered forward kernel on the raw arrays, then either
+    tapes the result (recording the op context and parent links for
+    ``backward()``) or — when gradients are off — returns an untaped
+    tensor, using the bookkeeping-free :class:`ArrayView` under
+    :func:`inference_mode`.
+    """
+    op = get_op(name)
+    ctx = OpContext()
+    ctx.needs = tuple(t.requires_grad for t in inputs)
+    arrays = tuple(t.data for t in inputs)
+
+    prof = _profiler._current
+    if prof is None:
+        data = op.forward(ctx, *arrays, **params)
+    else:
+        started = perf_counter()
+        data = op.forward(ctx, *arrays, **params)
+        prof.record_forward(name, perf_counter() - started,
+                            getattr(data, "nbytes", 0))
+
+    if is_grad_enabled() and any(ctx.needs):
+        out = Tensor(data, requires_grad=True)
+        out._parents = inputs
+        out._ctx = ctx
+        out._opref = op
+        out._op = name
+        return out
+
+    # Untaped: nothing will ever consume the saved context, so pooled
+    # workspaces go straight back.
+    for buffer in ctx.workspaces:
+        _workspace.release(buffer)
+    if _fastpath_mod.fastpath_enabled():
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data)
+        return ArrayView(data)
+    return Tensor(data)
+
+
 class Tensor:
     """A numpy array with reverse-mode autodiff support.
 
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` by default.  The
-        reproduction favours float64 so finite-difference gradient checks
-        are tight; models remain fast enough at the benchmark scale.
+        Array-like payload.  Float arrays keep their dtype; other inputs
+        are converted to the default float dtype (see
+        :mod:`repro.tensor.dtypes`).
     requires_grad:
         Whether gradients should flow into this tensor.  Leaf tensors with
         ``requires_grad=True`` act as trainable parameters.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_ctx",
+                 "_opref", "_op", "__weakref__")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = ()
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._ctx: Optional[OpContext] = None
+        self._opref = None
         self._op: str = "leaf"
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    @classmethod
-    def _make(
-        cls,
-        data: np.ndarray,
-        parents: Iterable["Tensor"],
-        backward: Callable[[np.ndarray], None],
-        op: str,
-    ) -> "Tensor":
-        parents = tuple(parents)
-        taped = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = cls(data, requires_grad=taped)
-        if taped:
-            out._parents = parents
-            out._backward = backward
-            out._op = op
-        return out
-
     @staticmethod
     def ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
         """Coerce ``value`` into a (non-differentiable) Tensor if needed."""
@@ -164,6 +228,13 @@ class Tensor:
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Run reverse-mode autodiff from this tensor.
 
+        The tape is consumed: after this returns, every visited node's
+        parent links, op context and pooled workspaces have been
+        released, so intermediate activations are collectable
+        immediately.  A second ``backward()`` through the same graph is
+        therefore not possible — build a fresh graph instead (the
+        trainers always do).
+
         Parameters
         ----------
         grad:
@@ -197,70 +268,54 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        prof = _profiler._current
         for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            ctx = node._ctx
+            if ctx is None:
+                continue
+            op = node._opref
+            if node.grad is not None:
+                if prof is None:
+                    grads = op.backward(ctx, node.grad)
+                else:
+                    started = perf_counter()
+                    grads = op.backward(ctx, node.grad)
+                    prof.record_backward(op.name, perf_counter() - started)
+                for parent, parent_grad in zip(node._parents, grads):
+                    if parent_grad is not None and parent.requires_grad:
+                        parent._accumulate(parent_grad)
+            # Free the tape as it is consumed: drop saved activations and
+            # return pooled workspaces so memory is reclaimed immediately.
+            for buffer in ctx.workspaces:
+                _workspace.release(buffer)
+            node._parents = ()
+            node._ctx = None
+            node._opref = None
 
     # ------------------------------------------------------------------
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other):
-        other = Tensor.ensure(other)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g)
-            if other.requires_grad:
-                other._accumulate(g)
-
-        return Tensor._make(self.data + other.data, (self, other), backward, "add")
+        return apply("add", (self, Tensor.ensure(other)))
 
     __radd__ = __add__
 
     def __neg__(self):
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(-g)
-
-        return Tensor._make(-self.data, (self,), backward, "neg")
+        return apply("neg", (self,))
 
     def __sub__(self, other):
-        other = Tensor.ensure(other)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g)
-            if other.requires_grad:
-                other._accumulate(-g)
-
-        return Tensor._make(self.data - other.data, (self, other), backward, "sub")
+        return apply("sub", (self, Tensor.ensure(other)))
 
     def __rsub__(self, other):
         return Tensor.ensure(other).__sub__(self)
 
     def __mul__(self, other):
-        other = Tensor.ensure(other)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * other.data)
-            if other.requires_grad:
-                other._accumulate(g * self.data)
-
-        return Tensor._make(self.data * other.data, (self, other), backward, "mul")
+        return apply("mul", (self, Tensor.ensure(other)))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        other = Tensor.ensure(other)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g / other.data)
-            if other.requires_grad:
-                other._accumulate(-g * self.data / (other.data ** 2))
-
-        return Tensor._make(self.data / other.data, (self, other), backward, "div")
+        return apply("div", (self, Tensor.ensure(other)))
 
     def __rtruediv__(self, other):
         return Tensor.ensure(other).__truediv__(self)
@@ -268,23 +323,10 @@ class Tensor:
     def __pow__(self, exponent: float):
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(self.data ** exponent, (self,), backward, "pow")
+        return apply("pow", (self,), exponent=exponent)
 
     def __matmul__(self, other):
-        other = Tensor.ensure(other)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g @ np.swapaxes(other.data, -1, -2))
-            if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ g)
-
-        return Tensor._make(self.data @ other.data, (self, other), backward, "matmul")
+        return apply("matmul", (self, Tensor.ensure(other)))
 
     # ------------------------------------------------------------------
     # Shape ops
@@ -292,53 +334,23 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.data.shape
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g.reshape(original))
-
-        return Tensor._make(self.data.reshape(shape), (self,), backward, "reshape")
+        return apply("reshape", (self,), shape=shape)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        inverse = np.argsort(axes)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g.transpose(inverse))
-
-        return Tensor._make(self.data.transpose(axes), (self,), backward, "transpose")
+        return apply("transpose", (self,), axes=axes)
 
     def __getitem__(self, index) -> "Tensor":
-        def backward(g):
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, g)
-                self._accumulate(full)
-
-        return Tensor._make(self.data[index], (self,), backward, "getitem")
+        return apply("getitem", (self,), index=index)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(g):
-            if not self.requires_grad:
-                return
-            grad = np.asarray(g)
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                for ax in sorted(a % self.ndim for a in axes):
-                    grad = np.expand_dims(grad, ax)
-            self._accumulate(np.broadcast_to(grad, self.data.shape))
-
-        return Tensor._make(out_data, (self,), backward, "sum")
+        return apply("sum", (self,), axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -349,77 +361,48 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(g):
-            if not self.requires_grad:
-                return
-            grad = np.asarray(g)
-            expanded = out_data
-            if not keepdims:
-                grad = np.expand_dims(grad, axis)
-                expanded = np.expand_dims(out_data, axis)
-            mask = (self.data == expanded).astype(self.data.dtype)
-            # Split gradient evenly across ties so gradcheck stays exact.
-            mask /= mask.sum(axis=axis, keepdims=True)
-            self._accumulate(mask * grad)
-
-        return Tensor._make(out_data, (self,), backward, "max")
+        return apply("max", (self,), axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * out_data)
-
-        return Tensor._make(out_data, (self,), backward, "exp")
+        return apply("exp", (self,))
 
     def log(self) -> "Tensor":
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g / self.data)
-
-        return Tensor._make(np.log(self.data), (self,), backward, "log")
+        return apply("log", (self,))
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * (1.0 - out_data ** 2))
-
-        return Tensor._make(out_data, (self,), backward, "tanh")
+        return apply("tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward, "sigmoid")
+        return apply("sigmoid", (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * mask)
-
-        return Tensor._make(self.data * mask, (self,), backward, "relu")
+        return apply("relu", (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = (self.data >= low) & (self.data <= high)
+        return apply("clip", (self,), low=low, high=high)
 
-        def backward(g):
-            if self.requires_grad:
-                self._accumulate(g * mask)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip")
+class ArrayView(Tensor):
+    """A graph-free tensor wrapper used by the inference fast path.
+
+    Skips dtype coercion and all autograd bookkeeping, so model code
+    written against ``Tensor`` (and its ``isinstance`` checks) runs
+    unchanged on raw kernel outputs.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data: np.ndarray):
+        self.data = data
+        self.grad = None
+        self.requires_grad = False
+        self._parents = ()
+        self._ctx = None
+        self._opref = None
+        self._op = "view"

@@ -9,6 +9,23 @@ from repro.data.dataset import Dataset, TrainTestSplit
 from repro.data.synthetic_images import ImageConfig, make_image_dataset
 from repro.data.synthetic_text import TextConfig, make_text_dataset
 from repro.models import MLP, ModelFactory
+from repro.tensor import set_default_dtype
+
+# The library default is float32 (see repro.tensor.dtypes); the test suite
+# pins float64 so finite-difference gradient checks stay tight and the
+# golden-run fingerprints (tests/golden/) remain byte-stable.  Pinned at
+# import time — before any session fixture materialises data — and
+# re-asserted per test in case one switches dtypes and leaks.
+set_default_dtype(np.float64)
+
+
+@pytest.fixture(autouse=True)
+def _float64_default_dtype():
+    previous = set_default_dtype(np.float64)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 @pytest.fixture(scope="session")

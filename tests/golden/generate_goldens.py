@@ -1,0 +1,37 @@
+"""Regenerate ``goldens.json`` — run ONLY when numerics change on purpose.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/golden/generate_goldens.py
+
+The committed ``goldens.json`` was produced by the pre-refactor op layer
+(PR 2 state) and pins the bit-exact outputs the registry/fused-kernel
+refactor must reproduce.  Regenerating it silently launders a numerical
+regression, so only do it alongside an intentional, documented change in
+training arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _fingerprint import compute_fingerprints  # noqa: E402
+
+
+def main() -> int:
+    out = pathlib.Path(__file__).resolve().parent / "goldens.json"
+    fingerprints = compute_fingerprints()
+    out.write_text(json.dumps(fingerprints, indent=2) + "\n")
+    for name, prints in fingerprints.items():
+        print(f"{name}: accuracy={prints['final_accuracy']} "
+              f"probs={prints['ensemble_probs'][:12]}…")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

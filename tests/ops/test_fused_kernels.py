@@ -1,0 +1,112 @@
+"""Fused loss kernels: bit-identical to the unfused chains, correct grads.
+
+``softmax_cross_entropy`` and ``edde_loss`` (paper Eq. 10 forward /
+Eq. 11 backward) collapse multi-node autograd chains into one registry
+op.  The contract is *bitwise* equality with the chains they replace —
+the golden-run fingerprints depend on it — so these tests compare exact
+bits, not tolerances, and then gradcheck the fused paths directly.
+"""
+
+import numpy as np
+
+from repro.core.losses import diversity_driven_loss
+from repro.nn.losses import cross_entropy
+from repro.ops.fused import fused_enabled, use_fused
+from repro.tensor import Tensor, gradcheck
+
+RNG = np.random.default_rng(17)
+
+
+def _batch(batch=6, classes=5):
+    logits = RNG.normal(size=(batch, classes)) * 2.0
+    labels = RNG.integers(0, classes, size=batch)
+    weights = RNG.uniform(0.5, 1.5, size=batch)
+    raw = RNG.uniform(0.05, 1.0, size=(batch, classes))
+    ensemble_probs = raw / raw.sum(axis=1, keepdims=True)
+    return logits, labels, weights, ensemble_probs
+
+
+def _loss_and_grad(fn, logits_data):
+    logits = Tensor(logits_data.copy(), requires_grad=True)
+    loss = fn(logits)
+    loss.backward()
+    return loss.data.copy(), logits.grad.copy()
+
+
+class TestToggle:
+    def test_fused_is_the_default(self):
+        assert fused_enabled()
+
+    def test_use_fused_restores(self):
+        with use_fused(False):
+            assert not fused_enabled()
+            with use_fused(True):
+                assert fused_enabled()
+            assert not fused_enabled()
+        assert fused_enabled()
+
+
+class TestSoftmaxCrossEntropy:
+    def test_bitwise_matches_unfused_chain(self):
+        logits, labels, weights, _ = _batch()
+        for w in (None, weights):
+            with use_fused(True):
+                fused_loss, fused_grad = _loss_and_grad(
+                    lambda lg: cross_entropy(lg, labels, w), logits)
+            with use_fused(False):
+                chain_loss, chain_grad = _loss_and_grad(
+                    lambda lg: cross_entropy(lg, labels, w), logits)
+            assert np.array_equal(fused_loss, chain_loss)
+            assert np.array_equal(fused_grad, chain_grad)
+
+    def test_gradcheck(self):
+        logits, labels, weights, _ = _batch(batch=4, classes=3)
+        with use_fused(True):
+            assert gradcheck(
+                lambda lg: cross_entropy(lg, labels, weights),
+                [Tensor(logits, requires_grad=True)])
+
+
+class TestEddeLoss:
+    def test_bitwise_matches_unfused_chain(self):
+        logits, labels, weights, ensemble_probs = _batch()
+        cases = [
+            (ensemble_probs, 0.2, weights),   # full Eq. 10
+            (ensemble_probs, 0.2, None),      # uniform boosting weights
+            (None, 0.2, weights),             # first round: plain CE
+            (ensemble_probs, 0.0, weights),   # gamma ablation
+        ]
+        for probs, gamma, w in cases:
+            with use_fused(True):
+                fused_loss, fused_grad = _loss_and_grad(
+                    lambda lg: diversity_driven_loss(lg, labels, probs,
+                                                     gamma, w), logits)
+            with use_fused(False):
+                chain_loss, chain_grad = _loss_and_grad(
+                    lambda lg: diversity_driven_loss(lg, labels, probs,
+                                                     gamma, w), logits)
+            assert np.array_equal(fused_loss, chain_loss)
+            assert np.array_equal(fused_grad, chain_grad)
+
+    def test_gradcheck_full_loss(self):
+        logits, labels, weights, ensemble_probs = _batch(batch=4, classes=3)
+        with use_fused(True):
+            assert gradcheck(
+                lambda lg: diversity_driven_loss(lg, labels, ensemble_probs,
+                                                 0.2, weights),
+                [Tensor(logits, requires_grad=True)])
+
+    def test_gradcheck_first_round(self):
+        logits, labels, weights, _ = _batch(batch=4, classes=3)
+        with use_fused(True):
+            assert gradcheck(
+                lambda lg: diversity_driven_loss(lg, labels, None,
+                                                 0.2, weights),
+                [Tensor(logits, requires_grad=True)])
+
+    def test_is_a_single_graph_node(self):
+        logits, labels, weights, ensemble_probs = _batch()
+        loss = diversity_driven_loss(Tensor(logits, requires_grad=True),
+                                     labels, ensemble_probs, 0.2, weights)
+        assert loss._op == "edde_loss"
+        assert len(loss._parents) == 1

@@ -1,0 +1,91 @@
+"""Regression tests: ``backward()`` frees the tape it consumes.
+
+The dispatcher tapes every op (parents, context, saved activations,
+pooled workspaces).  Backward must release all of it node-by-node so a
+training step's peak memory is bounded by the live graph, not by the
+whole history of the step.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.ops import workspace
+from repro.tensor import Tensor, inference_mode
+
+RNG = np.random.default_rng(3)
+
+
+def t(shape, scale=0.5):
+    return Tensor(RNG.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestTapeFreeing:
+    def test_backward_clears_graph_links(self):
+        x = t((4, 4))
+        y = (x * 2.0).tanh()
+        z = y.sum()
+        assert z._parents and z._ctx is not None
+        z.backward()
+        for node in (y, z):
+            assert node._parents == ()
+            assert node._ctx is None
+            assert node._opref is None
+
+    def test_intermediates_collectable_after_backward(self):
+        x = t((8, 8))
+        y = (x @ x).relu()
+        z = y.sum()
+        ref = weakref.ref(y)
+        del y
+        gc.collect()
+        # Before backward the tape (z -> parents) pins the activation.
+        assert ref() is not None
+        z.backward()
+        gc.collect()
+        # After backward the tape is gone; only `ref` knew about y.
+        assert ref() is None
+
+    def test_gradients_survive_tape_freeing(self):
+        x = t((3, 3))
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((3, 3), 3.0))
+
+    def test_leaf_grads_accumulate_across_fresh_graphs(self):
+        x = t((2, 2))
+        (x * 1.0).sum().backward()
+        (x * 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 2.0))
+
+
+class TestWorkspaceReturn:
+    def test_conv_workspace_returned_after_backward(self):
+        workspace.clear()
+        x = t((2, 2, 6, 6))
+        w = t((3, 2, 3, 3))
+        out = F.conv2d(x, w, None)
+        # The im2col buffer is checked out while the graph is alive...
+        assert workspace.pooled_bytes() == 0
+        out.sum().backward()
+        # ...and back in the pool once backward has consumed it.
+        assert workspace.pooled_bytes() > 0
+        workspace.clear()
+
+    def test_inference_mode_returns_workspace_immediately(self):
+        workspace.clear()
+        x = Tensor(RNG.normal(size=(2, 2, 6, 6)))
+        w = Tensor(RNG.normal(size=(3, 2, 3, 3)) * 0.5)
+        with inference_mode():
+            F.conv2d(x, w, None)
+        assert workspace.pooled_bytes() > 0
+        workspace.clear()
+
+    def test_pool_reuses_buffers_across_calls(self):
+        workspace.clear()
+        first = workspace.acquire((4, 4), np.float64)
+        workspace.release(first)
+        second = workspace.acquire((4, 4), np.float64)
+        assert second is first
+        workspace.clear()
