@@ -8,6 +8,10 @@ Commands
     Fit several methods on one scenario and print the comparison table.
 ``beta``
     Run the adaptive β-selection procedure on a scenario's training set.
+``serve-eval``
+    Stand an :class:`~repro.serving.InferenceService` up on a saved
+    ensemble and drive a request stream at it, optionally under injected
+    faults (corrupt archives, flaky/slow members, poisoned requests).
 ``info``
     List available scenarios, methods and models.
 
@@ -22,12 +26,15 @@ Examples
         --checkpoint-dir runs/edde --resume
     python -m repro.cli compare --scenario c10-resnet --methods single,snapshot,edde
     python -m repro.cli beta --scenario c100-resnet
+    python -m repro.cli serve-eval --scenario c100-resnet --ensemble e.npz \\
+        --requests 32 --inject corrupt:0,flaky:1:every=2 --deadline 0.5
     python -m repro.cli info
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -108,6 +115,118 @@ def _render_op_profile(profile: dict, top: int = 15) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve_eval(args) -> int:
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.serving import (
+        InferenceService,
+        InputSpec,
+        InvalidRequest,
+        ServiceConfig,
+        ServiceUnavailable,
+    )
+    from repro.serving.faults import (
+        apply_archive_faults,
+        apply_runtime_faults,
+        parse_fault_spec,
+    )
+
+    try:
+        faults = parse_fault_spec(args.inject) if args.inject else []
+    except ValueError as error:
+        print(f"error: bad --inject spec: {error}", file=sys.stderr)
+        return 2
+
+    scenario = build_scenario(args.scenario, rng=args.seed)
+    archive_path = args.ensemble
+    workdir = None
+    archive_faults = [f for f in faults if f["kind"] not in ("flaky", "slow")]
+    if archive_faults:
+        # Never damage the user's artifact: rehearse on a copy.
+        workdir = tempfile.mkdtemp(prefix="repro-serve-eval-")
+        archive_path = str(pathlib.Path(workdir) / "ensemble.npz")
+        shutil.copyfile(args.ensemble, archive_path)
+        for line in apply_archive_faults(archive_path, archive_faults):
+            print(f"inject: {line}")
+
+    config = ServiceConfig(
+        min_members=args.min_members, strict=args.strict,
+        fault_threshold=args.fault_threshold,
+        breaker_cooldown=args.cooldown,
+        input_spec=InputSpec.from_example(scenario.split.test.x))
+    try:
+        try:
+            service = InferenceService.from_archive(
+                archive_path, scenario.factory, config)
+        except ServiceUnavailable as error:
+            print(f"error: service refused to start: {error}", file=sys.stderr)
+            return 2
+        for line in apply_runtime_faults(service, faults):
+            print(f"inject: {line}")
+
+        x, y = scenario.split.test.x, scenario.split.test.y
+        batch = max(1, args.request_batch)
+        answered = rejected = unavailable = correct = total = 0
+        degraded = deadline_hits = 0
+        for request in range(args.requests):
+            start = (request * batch) % max(1, len(x) - batch + 1)
+            payload = np.array(x[start:start + batch])
+            labels = np.asarray(y[start:start + batch])
+            if args.poison_every and (request + 1) % args.poison_every == 0 \
+                    and np.issubdtype(payload.dtype, np.floating):
+                payload[0] = np.nan
+            try:
+                answer = service.predict(payload, deadline=args.deadline)
+            except InvalidRequest as error:
+                rejected += 1
+                print(f"request {request}: rejected ({error.reason})")
+                continue
+            except ServiceUnavailable as error:
+                unavailable += 1
+                print(f"request {request}: unavailable ({error.reason})")
+                continue
+            answered += 1
+            degraded += int(answer.degraded)
+            deadline_hits += int(answer.deadline_hit)
+            correct += int((answer.labels == labels).sum())
+            total += len(labels)
+
+        print(f"requests:          {args.requests} "
+              f"({answered} answered, {rejected} rejected, "
+              f"{unavailable} unavailable)")
+        if total:
+            print(f"accuracy (served): {percent(correct / total)}")
+        if degraded or deadline_hits:
+            print(f"degraded answers:  {degraded} "
+                  f"({deadline_hits} hit the deadline)")
+        print(_render_health(service.health()))
+        return 0
+    finally:
+        if workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _render_health(health) -> str:
+    """Render a :class:`~repro.serving.ServiceHealth` snapshot."""
+    lines = [
+        f"service health:    "
+        f"{'ready' if health.ready else 'NOT READY'} "
+        f"(quorum {health.min_members}/{health.members_total}, "
+        f"alpha mass {health.effective_alpha_mass:.2f})",
+        f"members live:      {health.members_live or '-'}",
+    ]
+    for index, reason in sorted(health.members_quarantined.items()):
+        lines.append(f"  quarantined #{index}: {reason}")
+    for index, reason in sorted(health.dropped_at_load.items()):
+        lines.append(f"  dropped #{index} at load: {reason}")
+    for index, count in sorted(health.member_faults.items()):
+        lines.append(f"  faults #{index}: {count}")
+    return "\n".join(lines)
+
+
 def _cmd_compare(args) -> int:
     scenario = build_scenario(args.scenario, rng=args.seed)
     methods = tuple(args.methods.split(","))
@@ -173,6 +292,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arg(compare)
     compare.add_argument("--methods", default="single,snapshot,edde")
     compare.set_defaults(func=_cmd_compare)
+
+    serve = commands.add_parser(
+        "serve-eval",
+        help="serve a saved ensemble through the fault-tolerant "
+             "InferenceService and stream requests at it")
+    _add_scenario_arg(serve)
+    serve.add_argument("--ensemble", required=True,
+                       help="path to a saved ensemble archive (.npz)")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="number of request batches to stream")
+    serve.add_argument("--request-batch", type=int, default=8,
+                       help="rows per request batch")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request wall-clock budget in seconds; "
+                            "members not started in time are skipped and "
+                            "the partial aggregate is returned")
+    serve.add_argument("--min-members", type=int, default=None,
+                       help="startup quorum (default: ceil(T/2))")
+    serve.add_argument("--strict", action="store_true",
+                       help="refuse degraded loading: any damaged member "
+                            "aborts startup")
+    serve.add_argument("--fault-threshold", type=int, default=3,
+                       help="consecutive member faults before quarantine")
+    serve.add_argument("--cooldown", type=float, default=30.0,
+                       help="seconds a quarantined member waits before a "
+                            "half-open probe")
+    serve.add_argument("--inject", default=None,
+                       help="fault spec, e.g. "
+                            "'corrupt:0,flaky:1:every=2,slow:2:seconds=0.2' "
+                            "(archive faults run on a throwaway copy)")
+    serve.add_argument("--poison-every", type=int, default=0,
+                       help="poison every Nth request with NaNs to "
+                            "exercise input validation")
+    serve.set_defaults(func=_cmd_serve_eval)
 
     beta = commands.add_parser("beta", help="adaptive beta selection")
     _add_scenario_arg(beta)

@@ -47,7 +47,12 @@ from repro.core.checkpointing import (
     RetryPolicy,
 )
 from repro.core.engine import EnsembleEngine, PredictionCache, RoundOutcome
-from repro.core.serialization import load_ensemble, save_ensemble
+from repro.core.serialization import (
+    DroppedMember,
+    LoadReport,
+    load_ensemble,
+    save_ensemble,
+)
 from repro.core.stacking import SoftmaxRegression, StackedEnsemble
 from repro.core.edde import EDDETrainer
 
@@ -101,6 +106,8 @@ __all__ = [
     "BetaSelection",
     "save_ensemble",
     "load_ensemble",
+    "LoadReport",
+    "DroppedMember",
     "StackedEnsemble",
     "SoftmaxRegression",
 ]

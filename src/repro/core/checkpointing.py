@@ -51,6 +51,7 @@ from repro.core.callbacks import Callback
 from repro.core.ensemble import Ensemble
 from repro.core.results import CurvePoint, MemberRecord
 from repro.core.serialization import (
+    CheckpointError,
     PathLike,
     atomic_savez,
     ensemble_payload,
@@ -58,12 +59,17 @@ from repro.core.serialization import (
 )
 from repro.models.factory import ModelFactory
 
+__all__ = [
+    "CheckpointError",  # re-export; lives in repro.core.serialization now
+    "CheckpointManager",
+    "CheckpointState",
+    "FaultTolerance",
+    "MemberDiverged",
+    "RetryPolicy",
+]
+
 _MANIFEST = "manifest.json"
 _CHECKPOINT_FORMAT = 1
-
-
-class CheckpointError(RuntimeError):
-    """A checkpoint directory is missing, incomplete, or corrupt."""
 
 
 class MemberDiverged(RuntimeError):

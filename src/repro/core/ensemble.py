@@ -47,9 +47,27 @@ class Ensemble:
         return [predict_probs(model, x, batch_size=batch_size) for model in self.models]
 
     def predict_probs(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Eq. 16 (normalised): α-weighted average of member softmax rows."""
+        """Eq. 16 (normalised): α-weighted average of member softmax rows.
+
+        Rejects non-finite inputs with
+        :class:`~repro.serving.errors.InvalidRequest`: softmax maps a NaN
+        row to a NaN (or, after the exp, a confidently wrong) distribution
+        *silently*, so a poisoned batch must die here rather than surface
+        as a garbage prediction downstream.
+        """
         if not self.models:
             raise RuntimeError("ensemble is empty")
+        x = np.asarray(x)
+        if np.issubdtype(x.dtype, np.floating) and not np.isfinite(x).all():
+            # Function-level import: the taxonomy module is stdlib-only,
+            # but importing it at module scope would pull the serving
+            # package (which imports repro.core) into every core import.
+            from repro.serving.errors import InvalidRequest
+
+            bad = int((~np.isfinite(x)).sum())
+            raise InvalidRequest(
+                f"input contains {bad} non-finite (NaN/Inf) value(s)",
+                field="values")
         alphas = np.asarray(self.alphas)
         weights = alphas / alphas.sum()
         member_probs = self.member_probs(x, batch_size)

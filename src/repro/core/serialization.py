@@ -7,12 +7,25 @@ members from a :class:`~repro.models.factory.ModelFactory`, so the
 architecture hyperparameters live in code, not in the archive — the same
 contract as the rest of the library (weights are data, topology is code).
 
-Writes are atomic: the archive is written to a sibling temporary file and
-moved into place with :func:`os.replace`, so an interrupted save can never
-leave a truncated ``.npz`` behind.  The same payload layout (and the same
-atomic-write path) backs the per-round training checkpoints in
-:mod:`repro.core.checkpointing` — there is exactly one member-weights
-format in the library.
+Writes are atomic *and durable*: the archive is written to a sibling
+temporary file, fsynced, moved into place with :func:`os.replace`, and
+the directory entry is fsynced (best-effort), so neither an interrupted
+save nor a crash right after it can leave a truncated or missing archive.
+The same payload layout (and the same atomic-write path) backs the
+per-round training checkpoints in :mod:`repro.core.checkpointing` — there
+is exactly one member-weights format in the library.
+
+Loading has two modes.  **Strict** (the default) raises on the first
+problem: archive-level damage (unreadable zip, missing α vector,
+member-count/α-length mismatch) surfaces as :class:`CheckpointError`
+naming the offending key, architecture/version mismatches keep raising
+``ValueError``.  **Non-strict** (``strict=False``) restores every member
+it can: a member whose arrays are corrupt, missing, mis-shaped, or
+non-finite is *dropped* and recorded in the optional :class:`LoadReport`,
+and the surviving members keep their α weights (the ensemble average
+normalises by ``Σ α``, so dropping a member implicitly renormalises the
+vote).  This is the degraded-load path the serving layer
+(:mod:`repro.serving`) builds its quorum decision on.
 
 Format history
 --------------
@@ -25,8 +38,12 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import warnings
-from typing import Dict, Union
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -38,6 +55,53 @@ _SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, pathlib.Path]
 
+#: Exceptions a damaged archive entry can raise while being decoded.
+_READ_ERRORS = (KeyError, ValueError, OSError, EOFError,
+                zipfile.BadZipFile, zlib.error)
+
+
+class CheckpointError(RuntimeError):
+    """A saved archive/checkpoint is missing, incomplete, or corrupt.
+
+    Home of the error since the serving PR (it is raised by the
+    serialization layer itself, not just by checkpoint directories);
+    :mod:`repro.core.checkpointing` re-exports it, so both import paths
+    keep working.
+    """
+
+
+@dataclass
+class DroppedMember:
+    """One member a non-strict load had to discard, and why."""
+
+    index: int
+    alpha: float
+    reason: str
+
+
+@dataclass
+class LoadReport:
+    """What a (possibly degraded) ensemble load actually restored."""
+
+    requested: int = 0                      # members the archive declares
+    loaded_indices: List[int] = field(default_factory=list)
+    dropped: List[DroppedMember] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dropped)
+
+    @property
+    def alpha_retained(self) -> float:
+        """Fraction of the archive's total α mass that survived the load."""
+        lost = sum(drop.alpha for drop in self.dropped)
+        kept = self._kept_alpha
+        total = kept + lost
+        return 1.0 if total <= 0 else kept / total
+
+    # populated by restore_ensemble; survivors' α values in index order.
+    _kept_alpha: float = 0.0
+
 
 def _npz_path(path: PathLike) -> pathlib.Path:
     """The path ``np.savez`` would actually write (it appends ``.npz``)."""
@@ -47,13 +111,36 @@ def _npz_path(path: PathLike) -> pathlib.Path:
     return path
 
 
-def atomic_savez(path: PathLike, payload: Dict[str, np.ndarray]) -> pathlib.Path:
-    """Write an ``.npz`` archive atomically; returns the final path.
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Best-effort fsync of a directory entry after a rename.
 
-    The payload goes to a sibling temporary file first and is moved into
-    place with ``os.replace``, so readers only ever see a complete archive.
-    Writing through a file object also sidesteps ``np.savez``'s automatic
-    ``.npz`` suffixing, which would otherwise break the rename.
+    ``os.replace`` makes the swap atomic, but only a directory fsync makes
+    it *durable* — without it a crash can roll the rename back and leave
+    no archive at all.  Some filesystems (and non-POSIX platforms) refuse
+    to open directories; that costs durability, not atomicity, so errors
+    are swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_savez(path: PathLike, payload: Dict[str, np.ndarray]) -> pathlib.Path:
+    """Write an ``.npz`` archive atomically and durably; returns the path.
+
+    The payload goes to a sibling temporary file first, is fsynced, and is
+    moved into place with ``os.replace``; the parent directory is then
+    fsynced (best-effort), so readers only ever see a complete archive and
+    a crash immediately after the save cannot lose the rename.  Writing
+    through a file object also sidesteps ``np.savez``'s automatic ``.npz``
+    suffixing, which would otherwise break the rename.
     """
     path = _npz_path(path)
     tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
@@ -66,6 +153,7 @@ def atomic_savez(path: PathLike, payload: Dict[str, np.ndarray]) -> pathlib.Path
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    _fsync_directory(path.parent)
     return path
 
 
@@ -85,13 +173,56 @@ def ensemble_payload(ensemble: Ensemble) -> Dict[str, np.ndarray]:
     return payload
 
 
-def restore_ensemble(archive, factory: ModelFactory) -> Ensemble:
+def _required_entry(archive, key: str) -> np.ndarray:
+    """Read a mandatory archive key, or raise a clean :class:`CheckpointError`."""
+    try:
+        return archive[key]
+    except KeyError:
+        raise CheckpointError(
+            f"archive is missing required key '{key}'") from None
+
+
+def _member_state(archive, index: int) -> Dict[str, np.ndarray]:
+    """Decode one member's arrays; any damage raises with the key named."""
+    prefix = f"model{index}/"
+    state = {}
+    for key in archive.files:
+        if not key.startswith(prefix):
+            continue
+        try:
+            value = archive[key]
+        except _READ_ERRORS as error:
+            raise CheckpointError(
+                f"cannot decode array '{key}': {error}") from error
+        if not isinstance(value, np.ndarray):
+            # NpzFile hands back raw bytes for an entry whose npy header
+            # is gone — the signature of a torn write.
+            raise CheckpointError(
+                f"cannot decode array '{key}': not a valid npy entry")
+        if np.issubdtype(value.dtype, np.floating) and \
+                not np.isfinite(value).all():
+            raise CheckpointError(f"array '{key}' contains non-finite values")
+        state[key[len(prefix):]] = value
+    if not state:
+        raise CheckpointError(f"no arrays stored under '{prefix}*'")
+    return state
+
+
+def restore_ensemble(archive, factory: ModelFactory, strict: bool = True,
+                     report: Optional[LoadReport] = None) -> Ensemble:
     """Rebuild an ensemble from an open ``.npz`` archive.
 
     Shared by :func:`load_ensemble` and the checkpoint loader; validates
     the format version and the architecture tag before touching weights.
+
+    With ``strict=False``, members whose arrays are corrupt, missing,
+    mis-shaped, or non-finite are skipped instead of fatal; the survivors
+    keep their α values (Eq. 16 renormalises by ``Σ α``) and every drop is
+    recorded in ``report``.  Archive-level damage — an unreadable α
+    vector, a member-count/α-length mismatch, or zero restorable members —
+    is unrecoverable in either mode and raises :class:`CheckpointError`.
     """
-    version = int(archive["__format_version__"])
+    version = int(_required_entry(archive, "__format_version__"))
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported ensemble format version {version}")
     probe = factory.build(rng=0)
@@ -108,17 +239,65 @@ def restore_ensemble(archive, factory: ModelFactory) -> Ensemble:
             "skipping architecture validation", stacklevel=3)
     else:
         raise ValueError("archive is missing the architecture tag")
-    count = int(archive["__num_models__"])
-    alphas = archive["__alphas__"]
+
+    count = int(_required_entry(archive, "__num_models__"))
+    alphas = np.asarray(_required_entry(archive, "__alphas__")).reshape(-1)
+    if len(alphas) != count:
+        raise CheckpointError(
+            f"member-count mismatch: '__num_models__' declares {count} "
+            f"member(s) but '__alphas__' has {len(alphas)} entr"
+            f"{'y' if len(alphas) == 1 else 'ies'}")
+    stored = {int(match.group(1))
+              for match in (re.match(r"model(\d+)/", key)
+                            for key in archive.files) if match}
+    extra = sorted(index for index in stored if index >= count)
+    if extra and strict:
+        raise CheckpointError(
+            f"member-count mismatch: '__num_models__' declares {count} "
+            f"member(s) but the archive holds extra key(s) under "
+            f"'model{extra[0]}/'")
+
+    if report is None:
+        report = LoadReport()
+    report.requested = count
+
     ensemble = Ensemble()
     for index in range(count):
-        prefix = f"model{index}/"
-        state = {key[len(prefix):]: archive[key]
-                 for key in archive.files if key.startswith(prefix)}
-        model = probe if index == 0 else factory.build(rng=0)
-        model.load_state_dict(state)
+        alpha = float(alphas[index])
+        try:
+            if not np.isfinite(alpha) or alpha <= 0:
+                raise CheckpointError(
+                    f"alpha[{index}] = {alpha} is not a positive finite weight")
+            state = _member_state(archive, index)
+            # A fresh model per member: a failed partial load must never
+            # leak stale parameters/buffers into the next member's build.
+            model = probe if not ensemble.models and index == 0 else \
+                factory.build(rng=0)
+            try:
+                model.load_state_dict(state)
+            except KeyError as error:
+                raise CheckpointError(
+                    f"missing key in state dict: {error.args[0]}") from error
+            except ValueError as error:
+                if strict:
+                    # A parameter-shape mismatch keeps its historical
+                    # ValueError contract (same class as the arch-tag
+                    # check — the factory builds the wrong topology).
+                    raise ValueError(f"member {index}: {error}") from error
+                raise CheckpointError(str(error)) from error
+        except CheckpointError as error:
+            if strict:
+                raise CheckpointError(f"member {index}: {error}") from error
+            report.dropped.append(DroppedMember(index, alpha, str(error)))
+            continue
         model.eval()
-        ensemble.add(model, float(alphas[index]))
+        ensemble.add(model, alpha)
+        report.loaded_indices.append(index)
+        report._kept_alpha += alpha
+    if not len(ensemble):
+        raise CheckpointError(
+            f"no members could be restored (all {count} dropped: "
+            f"{report.dropped[0].reason})")
     return ensemble
 
 
@@ -127,12 +306,24 @@ def save_ensemble(ensemble: Ensemble, path: PathLike) -> None:
     atomic_savez(path, ensemble_payload(ensemble))
 
 
-def load_ensemble(path: PathLike, factory: ModelFactory) -> Ensemble:
+def load_ensemble(path: PathLike, factory: ModelFactory, strict: bool = True,
+                  report: Optional[LoadReport] = None) -> Ensemble:
     """Rebuild an ensemble saved by :func:`save_ensemble`.
 
     ``factory`` must construct the same architecture the ensemble was
     trained with; an architecture-tag or parameter-shape mismatch raises
-    ``ValueError``.
+    ``ValueError``.  An archive that cannot be opened at all (missing
+    file, truncated/torn zip) raises :class:`CheckpointError` naming the
+    path.  ``strict=False`` degrades over per-member damage instead of
+    raising — see :func:`restore_ensemble`.
     """
-    with np.load(_npz_path(path)) as archive:
-        return restore_ensemble(archive, factory)
+    path = _npz_path(path)
+    try:
+        archive = np.load(path)
+    except FileNotFoundError:
+        raise CheckpointError(f"no ensemble archive at {path}") from None
+    except _READ_ERRORS as error:
+        raise CheckpointError(
+            f"cannot read ensemble archive {path}: {error}") from error
+    with archive:
+        return restore_ensemble(archive, factory, strict=strict, report=report)

@@ -1,0 +1,53 @@
+"""Fault-tolerant inference serving for saved ensembles.
+
+The α-weighted vote (paper Eq. 16) renormalises over whatever members are
+present, so an ensemble degrades member-by-member instead of all at once.
+This package turns that mathematical property into a production serving
+contract around :class:`InferenceService`:
+
+* resilient archive loading with a minimum-member quorum
+  (:meth:`InferenceService.from_archive`, backed by
+  ``load_ensemble(strict=False)``);
+* request validation (:class:`InputSpec` → :class:`InvalidRequest`),
+  per-request deadlines with partial α-weighted answers, and per-member
+  circuit breakers (:class:`CircuitBreaker`);
+* health/readiness snapshots (:class:`ServiceHealth`) and a deterministic
+  fault harness (:mod:`repro.serving.faults`) shared by the test suite
+  and the ``repro serve-eval --inject`` CLI.
+
+See ``docs/architecture.md`` ("Serving and graceful degradation") for the
+error taxonomy and the quorum/breaker state machine.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.errors import (
+    InvalidRequest,
+    MemberFault,
+    ServiceUnavailable,
+    ServingError,
+)
+from repro.serving.members import ServingMember
+from repro.serving.service import (
+    InferenceService,
+    ServedPrediction,
+    ServiceConfig,
+    ServiceHealth,
+)
+from repro.serving.validation import InputSpec
+
+__all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "InferenceService",
+    "InputSpec",
+    "InvalidRequest",
+    "MemberFault",
+    "ServedPrediction",
+    "ServiceConfig",
+    "ServiceHealth",
+    "ServiceUnavailable",
+    "ServingError",
+    "ServingMember",
+]

@@ -1,0 +1,101 @@
+"""Per-member circuit breakers.
+
+A member that keeps failing (raising, emitting NaNs, tripping shape
+checks) should stop being *called*, not just stop being *counted*: every
+doomed forward pass burns a full model evaluation of latency.  Each
+serving member therefore owns a :class:`CircuitBreaker` with the classic
+three-state machine:
+
+``CLOSED``  — healthy; every request reaches the member.  Each fault
+increments a consecutive-fault counter (any success resets it); reaching
+``fault_threshold`` trips the breaker.
+
+``OPEN``    — quarantined; the member is skipped and its α mass excluded
+from the aggregate (the weighted average renormalises over the live
+members, so the vote stays a proper distribution).  After ``cooldown``
+seconds the next request is admitted as a probe.
+
+``HALF_OPEN`` — exactly one probe in flight.  A successful probe closes
+the breaker and re-admits the member (its α rejoins the aggregate); a
+failed probe re-opens it for another full cooldown.
+
+Time comes from an injectable ``clock`` (``time.monotonic`` by default)
+so tests and the fault harness drive the state machine deterministically
+with a manual clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-fault breaker with a cooldown-then-probe reopen path."""
+
+    def __init__(self, fault_threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if fault_threshold < 1:
+            raise ValueError(
+                f"fault_threshold must be >= 1, got {fault_threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.fault_threshold = int(fault_threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_faults = 0
+        self.total_faults = 0
+        self.total_calls = 0
+        self.opened_at: Optional[float] = None
+        self.last_fault_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the member serve this request?  Advances OPEN → HALF_OPEN."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                return True
+            return False
+        # HALF_OPEN: a probe was already admitted and has not reported
+        # back; with the sequential predict loop this only happens if the
+        # probe itself crashed the request — keep the gate shut.
+        return False
+
+    def record_success(self) -> None:
+        self.total_calls += 1
+        self.consecutive_faults = 0
+        if self.state in (HALF_OPEN, OPEN):
+            self.opened_at = None
+        self.state = CLOSED
+
+    def record_fault(self, reason: str) -> None:
+        self.total_calls += 1
+        self.total_faults += 1
+        self.consecutive_faults += 1
+        self.last_fault_reason = reason
+        if self.state == HALF_OPEN or \
+                self.consecutive_faults >= self.fault_threshold:
+            self.state = OPEN
+            self.opened_at = self.clock()
+
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> bool:
+        """True while the member is excluded (cooldown not yet expired)."""
+        return self.state == OPEN and \
+            self.clock() - self.opened_at < self.cooldown
+
+    def describe(self) -> str:
+        if self.state == CLOSED:
+            return "closed"
+        reason = self.last_fault_reason or "faults"
+        return (f"{self.state} after {self.consecutive_faults} consecutive "
+                f"fault(s); last: {reason}")

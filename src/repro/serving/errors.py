@@ -1,0 +1,74 @@
+"""The serving error taxonomy.
+
+Every failure on the request path maps to exactly one of three classes,
+chosen by *whose fault it is* — the distinction a fronting HTTP layer (or
+a retrying client) needs to pick a status code and a retry policy:
+
+* :class:`InvalidRequest` — the caller sent something malformed (bad
+  shape, wrong dtype, NaN/Inf payload).  Retrying the same request can
+  never succeed; the request is rejected before any model runs.
+* :class:`MemberFault` — one base model failed on a valid request (raised,
+  produced non-finite probabilities, returned the wrong shape).  The
+  service absorbs these: the member is excluded from the α-weighted
+  aggregate and its circuit breaker is charged.
+* :class:`ServiceUnavailable` — the service as a whole cannot answer
+  (below quorum at startup, every member quarantined, nothing finished
+  before the deadline).  Retrying *later* may succeed.
+
+The module is intentionally import-light (stdlib only): lower layers such
+as :meth:`repro.core.ensemble.Ensemble.predict_probs` raise
+:class:`InvalidRequest` via a function-level import without dragging the
+whole serving stack in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServingError(Exception):
+    """Base of the serving taxonomy; carries a machine-readable code."""
+
+    code = "serving-error"
+
+
+class InvalidRequest(ServingError):
+    """The request is malformed — rejected before any member runs.
+
+    ``field`` names the offending part of the request (``"shape"``,
+    ``"dtype"``, ``"values"``, ``"deadline"``, ...) so callers can report
+    structured errors without parsing the message.
+    """
+
+    code = "invalid-request"
+
+    def __init__(self, reason: str, field: Optional[str] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.field = field
+
+
+class MemberFault(ServingError):
+    """One base model failed on a valid request.
+
+    Raised internally by the member wrapper and absorbed by the service's
+    predict loop; it only escapes to the caller wrapped in the per-member
+    skip report, never as an exception.
+    """
+
+    code = "member-fault"
+
+    def __init__(self, reason: str, member_index: Optional[int] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.member_index = member_index
+
+
+class ServiceUnavailable(ServingError):
+    """The service as a whole cannot answer right now."""
+
+    code = "service-unavailable"
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,313 @@
+"""Deterministic fault injection for the serving layer.
+
+The training side has :mod:`tests.faults.injection` (kill/corrupt a
+member mid-fit); this is its serving twin, and it lives in the package —
+not under ``tests/`` — because the ``repro serve-eval --inject`` CLI uses
+the same harness to rehearse failures against a real saved ensemble.
+
+Three injection families:
+
+* **Archive faults** (:class:`CorruptArchive`) damage a saved ``.npz``
+  *on disk* in precise, realistic ways — garbage bytes in one member's
+  arrays (a torn write), a member's entries missing, a mandatory key
+  gone, the whole file truncated — to exercise the resilient loader.
+* **Runtime faults** wrap a live member's model:
+  :class:`FlakyMember` fails chosen calls (raise or NaN output) to drive
+  the circuit breaker; :class:`SlowMember` burns wall-clock per call
+  (a manual clock in tests, a real sleep in the CLI) to drive deadlines.
+* **Spec parsing** (:func:`parse_fault_spec` /
+  :func:`apply_archive_faults` / :func:`apply_runtime_faults`) turns the
+  CLI's compact ``kind:member[:key=value...]`` strings into applied
+  faults.
+
+:class:`ManualClock` is the deterministic time source the whole layer is
+tested with — the service, breakers, and ``SlowMember`` all accept it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+import zipfile
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+_ARCHIVE_KINDS = ("corrupt", "drop", "drop-key", "truncate")
+_RUNTIME_KINDS = ("flaky", "slow")
+
+
+class ManualClock:
+    """A monotonic clock that only moves when told to."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+class _WrappedModel:
+    """Delegate everything (``eval``/``train``/``training``/...) inward."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def __getattr__(self, name):
+        return getattr(self.model, name)
+
+
+class FlakyMember(_WrappedModel):
+    """A member that fails on a deterministic schedule of calls.
+
+    Calls are counted from 0; the member fails on calls ``start``,
+    ``start + every``, ``start + 2·every``, ...  ``mode="raise"``
+    simulates a crash, ``mode="nan"`` a numerically-wedged member whose
+    logits went non-finite (the output-screening path).
+    """
+
+    MODES = ("raise", "nan")
+
+    def __init__(self, model, every: int = 1, start: int = 0,
+                 mode: str = "raise"):
+        super().__init__(model)
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose {self.MODES}")
+        self.every = int(every)
+        self.start = int(start)
+        self.mode = mode
+        self.calls = 0
+        self.faults_fired = 0
+
+    def _should_fail(self) -> bool:
+        offset = self.calls - self.start
+        return offset >= 0 and offset % self.every == 0
+
+    def __call__(self, x):
+        failing = self._should_fail()
+        self.calls += 1
+        if failing and self.mode == "raise":
+            self.faults_fired += 1
+            raise RuntimeError(
+                f"injected member crash (call {self.calls - 1})")
+        out = self.model(x)
+        if failing:
+            self.faults_fired += 1
+            out.data = np.full_like(np.asarray(out.data), np.nan)
+        return out
+
+
+class SlowMember(_WrappedModel):
+    """A member that burns ``seconds`` of wall-clock per forward call.
+
+    With a :class:`ManualClock` the delay is simulated (tests stay
+    instant); without one it really sleeps (the CLI path).
+    """
+
+    def __init__(self, model, seconds: float,
+                 clock: Optional[ManualClock] = None):
+        super().__init__(model)
+        self.seconds = float(seconds)
+        self.clock = clock
+        self.calls = 0
+
+    def __call__(self, x):
+        self.calls += 1
+        if self.clock is not None:
+            self.clock.advance(self.seconds)
+        else:
+            time.sleep(self.seconds)
+        return self.model(x)
+
+
+class CorruptArchive:
+    """Damage a saved ``.npz`` archive in place, one failure mode at a time.
+
+    ``.npz`` is a zip of ``<key>.npy`` entries; every mutator rewrites
+    the zip so the damage is exactly scoped — the rest of the archive
+    stays byte-for-byte readable, which is what lets ``strict=False``
+    loading salvage the surviving members.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+
+    # -- low-level rewrite ---------------------------------------------
+    def _rewrite(self, mutate: Callable[[str, bytes], Optional[bytes]]) -> None:
+        """Apply ``mutate(name, data) -> new data | None (drop)`` per entry."""
+        with zipfile.ZipFile(self.path) as archive:
+            entries = [(info.filename, archive.read(info.filename))
+                       for info in archive.infolist()]
+        with zipfile.ZipFile(self.path, "w") as archive:
+            for name, data in entries:
+                mutated = mutate(name, data)
+                if mutated is not None:
+                    archive.writestr(name, mutated)
+
+    # -- failure modes --------------------------------------------------
+    def corrupt_member(self, index: int) -> "CorruptArchive":
+        """Torn write: member ``index``'s arrays become undecodable garbage."""
+        prefix = f"model{index}/"
+        self._rewrite(lambda name, data:
+                      b"\x00not an npy\x00" if name.startswith(prefix)
+                      else data)
+        return self
+
+    def drop_member(self, index: int) -> "CorruptArchive":
+        """Member ``index``'s entries are missing entirely."""
+        prefix = f"model{index}/"
+        self._rewrite(lambda name, data:
+                      None if name.startswith(prefix) else data)
+        return self
+
+    def drop_key(self, key: str) -> "CorruptArchive":
+        """Remove a top-level entry, e.g. ``__alphas__``."""
+        self._rewrite(lambda name, data:
+                      None if name == f"{key}.npy" else data)
+        return self
+
+    def poison_member(self, index: int) -> "CorruptArchive":
+        """Member ``index``'s first array decodes fine but holds NaNs."""
+        prefix = f"model{index}/"
+        state = {"hit": False}
+
+        def mutate(name, data):
+            if name.startswith(prefix) and not state["hit"]:
+                state["hit"] = True
+                header = np.lib.format  # round-trip through the npy codec
+                import io
+
+                buffer = io.BytesIO(data)
+                array = header.read_array(buffer)
+                array = np.full_like(np.asarray(array, dtype=np.float64),
+                                     np.nan)
+                out = io.BytesIO()
+                header.write_array(out, array)
+                return out.getvalue()
+            return data
+
+        self._rewrite(mutate)
+        return self
+
+    def truncate(self, keep_fraction: float = 0.5) -> "CorruptArchive":
+        """Chop the file, simulating a non-atomic write that lost the tail."""
+        data = self.path.read_bytes()
+        self.path.write_bytes(data[:max(1, int(len(data) * keep_fraction))])
+        return self
+
+
+# ----------------------------------------------------------------------
+# CLI fault-spec parsing: "corrupt:0,flaky:1:every=2,slow:2:seconds=0.2"
+# ----------------------------------------------------------------------
+
+def parse_fault_spec(spec: str) -> List[Dict]:
+    """Parse a comma-separated injection spec into fault dicts.
+
+    Each item is ``kind:member[:key=value...]``; kinds are
+    ``corrupt``/``drop``/``drop-key``/``truncate`` (applied to the archive
+    before loading) and ``flaky``/``slow`` (wrapped around live members).
+    ``drop-key`` and ``truncate`` take a key/fraction instead of a member
+    index.
+    """
+    faults = []
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        fields = item.split(":")
+        kind = fields[0]
+        if kind not in _ARCHIVE_KINDS + _RUNTIME_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in {item!r}; choose one of "
+                f"{_ARCHIVE_KINDS + _RUNTIME_KINDS}")
+        fault: Dict = {"kind": kind, "params": {}}
+        rest = fields[1:]
+        if kind == "drop-key":
+            if len(rest) != 1:
+                raise ValueError(f"drop-key takes exactly a key: {item!r}")
+            fault["key"] = rest[0]
+            rest = []
+        elif kind == "truncate":
+            fault["params"]["keep_fraction"] = 0.5
+        else:
+            if not rest or "=" in rest[0]:
+                raise ValueError(f"{kind} needs a member index: {item!r}")
+            fault["member"] = int(rest[0])
+            rest = rest[1:]
+        for pair in rest:
+            if "=" not in pair:
+                raise ValueError(f"expected key=value, got {pair!r} in {item!r}")
+            key, value = pair.split("=", 1)
+            if key == "mode":  # string-valued ("nan" would parse as float)
+                fault["params"][key] = value
+                continue
+            for cast in (int, float, str):
+                try:
+                    fault["params"][key] = cast(value)
+                    break
+                except ValueError:
+                    continue
+        faults.append(fault)
+    return faults
+
+
+def apply_archive_faults(path, faults: List[Dict]) -> List[str]:
+    """Apply the archive-level faults from a parsed spec; returns a log."""
+    applied = []
+    archive = CorruptArchive(path)
+    for fault in faults:
+        kind = fault["kind"]
+        if kind not in _ARCHIVE_KINDS:
+            continue
+        if kind == "corrupt":
+            archive.corrupt_member(fault["member"])
+            applied.append(f"corrupted member {fault['member']} arrays")
+        elif kind == "drop":
+            archive.drop_member(fault["member"])
+            applied.append(f"dropped member {fault['member']} entries")
+        elif kind == "drop-key":
+            archive.drop_key(fault["key"])
+            applied.append(f"dropped archive key {fault['key']}")
+        elif kind == "truncate":
+            archive.truncate(**fault["params"])
+            applied.append("truncated archive")
+    return applied
+
+
+def apply_runtime_faults(service, faults: List[Dict],
+                         clock: Optional[ManualClock] = None) -> List[str]:
+    """Wrap live members of ``service`` per the parsed spec; returns a log.
+
+    Members are addressed by *original archive index*; a fault aimed at a
+    member that was dropped at load is reported, not an error (rehearsing
+    compound failures should not require the member to have survived).
+    """
+    applied = []
+    by_index = {member.index: member for member in service.members}
+    for fault in faults:
+        kind = fault["kind"]
+        if kind not in _RUNTIME_KINDS:
+            continue
+        member = by_index.get(fault["member"])
+        if member is None:
+            applied.append(f"{kind}: member {fault['member']} not live "
+                           "(dropped at load); skipped")
+            continue
+        if kind == "flaky":
+            params = {key: int(value)
+                      for key, value in fault["params"].items()
+                      if key in ("every", "start")}
+            mode = fault["params"].get("mode", "raise")
+            member.model = FlakyMember(member.model, mode=mode
+                                       if isinstance(mode, str) else "raise",
+                                       **params)
+            applied.append(f"member {fault['member']} made flaky "
+                           f"({params or 'every call'})")
+        elif kind == "slow":
+            seconds = float(fault["params"].get("seconds", 0.05))
+            member.model = SlowMember(member.model, seconds, clock=clock)
+            applied.append(
+                f"member {fault['member']} slowed by {seconds:g}s/call")
+    return applied

@@ -1,0 +1,66 @@
+"""One served base model: prediction + output screening + breaker state.
+
+A :class:`ServingMember` pairs a loaded model with its α weight, its
+original archive index (reporting must name members by the index they had
+at training time, not by their position after degraded loading), and a
+:class:`~repro.serving.breaker.CircuitBreaker`.  Its :meth:`predict`
+converts *every* way a member can misbehave on a valid request — raising,
+emitting NaN/Inf probabilities, returning the wrong number of rows — into
+a single :class:`~repro.serving.errors.MemberFault`, so the service's
+aggregate loop has exactly one failure type to absorb and charge to the
+breaker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import predict_probs
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.errors import MemberFault
+
+
+class ServingMember:
+    """A live ensemble member behind its circuit breaker."""
+
+    def __init__(self, index: int, model, alpha: float,
+                 breaker: CircuitBreaker):
+        self.index = int(index)
+        self.model = model
+        self.alpha = float(alpha)
+        self.breaker = breaker
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Softmax rows for ``x``, or :class:`MemberFault`.
+
+        Success and failure are both recorded on the breaker here, so the
+        caller never has to remember to charge it.
+        """
+        try:
+            probs = predict_probs(self.model, x, batch_size=batch_size)
+        except Exception as error:  # noqa: BLE001 — the whole point: any
+            # member crash becomes a fault, never a dead request.
+            reason = error.reason if isinstance(error, MemberFault) else \
+                f"{type(error).__name__}: {error}"
+            fault = MemberFault(reason, member_index=self.index)
+            self.breaker.record_fault(reason)
+            raise fault from error
+        if probs.shape[0] != len(x):
+            fault = MemberFault(
+                f"returned {probs.shape[0]} rows for a batch of {len(x)}",
+                member_index=self.index)
+            self.breaker.record_fault(fault.reason)
+            raise fault
+        if not np.isfinite(probs).all():
+            bad = int((~np.isfinite(probs)).sum())
+            fault = MemberFault(
+                f"produced {bad} non-finite probability value(s)",
+                member_index=self.index)
+            self.breaker.record_fault(fault.reason)
+            raise fault
+        self.breaker.record_success()
+        return probs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServingMember(index={self.index}, alpha={self.alpha}, "
+                f"breaker={self.breaker.state})")

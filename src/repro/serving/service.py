@@ -1,0 +1,296 @@
+"""The fault-tolerant inference service around a loaded ensemble.
+
+An α-weighted ensemble (paper Eq. 16) degrades gracefully by
+construction: the vote ``H(x) = Σ α_t h_t(x) / Σ α_t`` stays a valid —
+slightly weaker — predictor under *any* subset of members, because the
+normaliser renormalises whatever α mass is actually present.
+:class:`InferenceService` turns that property into production failure
+semantics:
+
+* **Resilient startup** — :meth:`InferenceService.from_archive` loads the
+  archive with ``strict=False`` by default, dropping members whose arrays
+  are corrupt/missing/non-finite (see
+  :func:`repro.core.serialization.load_ensemble`), and then applies the
+  quorum knob: fewer than ``min_members`` survivors (default
+  ``ceil(T/2)``) means the service *refuses to start* with
+  :class:`ServiceUnavailable` instead of silently serving a husk.
+* **Request hardening** — inputs are screened by an
+  :class:`~repro.serving.validation.InputSpec` (shape/dtype/NaN/range →
+  :class:`InvalidRequest`); per-request ``deadline`` cuts off members
+  that have not *started* once the wall-clock budget is spent and returns
+  the partial α-weighted aggregate over the members that finished; every
+  member runs behind a :class:`~repro.serving.breaker.CircuitBreaker`, so
+  a repeatedly faulting member is quarantined (its α leaves the vote)
+  and periodically re-probed.
+* **Operational surface** — :meth:`health` snapshots the whole state
+  machine: live/quarantined/dropped members with reasons, effective α
+  mass, request/fault counters, readiness against the quorum.
+
+Aggregation is arithmetic-identical to
+:meth:`repro.core.ensemble.Ensemble.predict_probs` over the completed
+members — same weight normalisation, same accumulation order — so a
+degraded answer is *bit-identical* to what a freshly built ensemble of
+the surviving members would produce.  Tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.serialization import (
+    CheckpointError,
+    LoadReport,
+    PathLike,
+    load_ensemble,
+)
+from repro.core.ensemble import Ensemble
+from repro.models.factory import ModelFactory
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.errors import (
+    InvalidRequest,
+    MemberFault,
+    ServiceUnavailable,
+)
+from repro.serving.members import ServingMember
+from repro.serving.validation import InputSpec
+
+#: Why a member did not contribute to one prediction.
+SKIP_QUARANTINED = "quarantined"
+SKIP_FAULT = "fault"
+SKIP_DEADLINE = "deadline"
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for :class:`InferenceService`.
+
+    ``min_members=None`` means "majority quorum": ``ceil(T/2)`` of the
+    members the archive declares.  ``clock`` is injectable so tests drive
+    deadlines and breaker cooldowns with a manual clock.
+    """
+
+    min_members: Optional[int] = None
+    strict: bool = False
+    fault_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    batch_size: int = 256
+    input_spec: Optional[InputSpec] = None
+    clock: Callable[[], float] = time.monotonic
+
+
+@dataclass
+class ServedPrediction:
+    """One answered request: the aggregate plus who produced it."""
+
+    probs: np.ndarray
+    members_used: List[int]
+    #: (original member index, skip kind, human-readable reason)
+    members_skipped: List[Tuple[int, str, str]]
+    alpha_mass: float              # α used / α configured (incl. dropped)
+    deadline_hit: bool
+    latency: float
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.probs.argmax(axis=1)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.members_skipped) or self.alpha_mass < 1.0
+
+
+@dataclass
+class ServiceHealth:
+    """Snapshot of the service state machine for monitoring/readiness."""
+
+    ready: bool
+    members_total: int                       # declared by the archive
+    members_live: List[int]
+    members_quarantined: Dict[int, str]      # index -> breaker reason
+    dropped_at_load: Dict[int, str]          # index -> load failure reason
+    min_members: int
+    effective_alpha_mass: float              # live α / configured α
+    requests_served: int
+    requests_rejected: int                   # InvalidRequest
+    requests_unavailable: int                # ServiceUnavailable
+    member_faults: Dict[int, int] = field(default_factory=dict)
+
+
+class InferenceService:
+    """Serve α-weighted ensemble predictions with production semantics."""
+
+    def __init__(self, ensemble: Ensemble,
+                 config: Optional[ServiceConfig] = None,
+                 load_report: Optional[LoadReport] = None):
+        self.config = config or ServiceConfig()
+        self.clock = self.config.clock
+        self.load_report = load_report or LoadReport(
+            requested=len(ensemble),
+            loaded_indices=list(range(len(ensemble))))
+        self.members: List[ServingMember] = [
+            ServingMember(
+                index=original_index, model=model, alpha=alpha,
+                breaker=CircuitBreaker(
+                    fault_threshold=self.config.fault_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                    clock=self.clock))
+            for original_index, model, alpha in zip(
+                self.load_report.loaded_indices, ensemble.models,
+                ensemble.alphas)
+        ]
+        total = self.load_report.requested or len(self.members)
+        self.min_members = self.config.min_members if \
+            self.config.min_members is not None else math.ceil(total / 2)
+        if self.min_members < 1:
+            raise ValueError(
+                f"min_members must be >= 1, got {self.min_members}")
+        self._alpha_configured = sum(m.alpha for m in self.members) + \
+            sum(drop.alpha for drop in self.load_report.dropped)
+        self._served = 0
+        self._rejected = 0
+        self._unavailable = 0
+        if len(self.members) < self.min_members:
+            raise ServiceUnavailable(
+                f"quorum not met: {len(self.members)} member(s) loaded, "
+                f"min_members={self.min_members} "
+                f"({len(self.load_report.dropped)} dropped at load)")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_archive(cls, path: PathLike, factory: ModelFactory,
+                     config: Optional[ServiceConfig] = None,
+                     ) -> "InferenceService":
+        """Load a saved ensemble and stand the service up around it.
+
+        Every way the archive can be unusable — unreadable file, below
+        quorum after degraded loading, architecture mismatch — surfaces
+        as :class:`ServiceUnavailable` ("refuse to start"), with the
+        underlying loader error chained for diagnostics.
+        """
+        config = config or ServiceConfig()
+        report = LoadReport()
+        try:
+            ensemble = load_ensemble(path, factory, strict=config.strict,
+                                     report=report)
+        except (CheckpointError, ValueError) as error:
+            raise ServiceUnavailable(
+                f"cannot load ensemble from {path}: {error}") from error
+        return cls(ensemble, config=config, load_report=report)
+
+    # ------------------------------------------------------------------
+    def predict(self, x, deadline: Optional[float] = None) -> ServedPrediction:
+        """Answer one request, degrading over member faults and deadlines.
+
+        ``deadline`` is a wall-clock budget in seconds.  Members are
+        evaluated sequentially; a member is only *started* while budget
+        remains, and the answer is the α-weighted average over the
+        members that completed — the same arithmetic as
+        :meth:`Ensemble.predict_probs` restricted to those members.
+
+        Raises :class:`InvalidRequest` for malformed payloads and
+        :class:`ServiceUnavailable` when not a single member produced a
+        valid output.
+        """
+        if deadline is not None and deadline <= 0:
+            self._rejected += 1
+            raise InvalidRequest(
+                f"deadline must be positive, got {deadline}", field="deadline")
+        try:
+            x = self._validate(x)
+        except InvalidRequest:
+            self._rejected += 1
+            raise
+        started = self.clock()
+        outputs: List[Tuple[ServingMember, np.ndarray]] = []
+        skipped: List[Tuple[int, str, str]] = []
+        deadline_hit = False
+        for member in self.members:
+            if deadline is not None and \
+                    self.clock() - started >= deadline:
+                deadline_hit = True
+                skipped.append((member.index, SKIP_DEADLINE,
+                                f"not started within the {deadline:g}s "
+                                "deadline"))
+                continue
+            if not member.breaker.allow():
+                skipped.append((member.index, SKIP_QUARANTINED,
+                                member.breaker.describe()))
+                continue
+            try:
+                probs = member.predict(x, batch_size=self.config.batch_size)
+            except MemberFault as fault:
+                skipped.append((member.index, SKIP_FAULT, fault.reason))
+                continue
+            outputs.append((member, probs))
+        if not outputs:
+            self._unavailable += 1
+            reasons = "; ".join(f"member {i} {kind}: {why}"
+                                for i, kind, why in skipped) or "no members"
+            raise ServiceUnavailable(f"no member produced an answer "
+                                     f"({reasons})")
+        # Bit-identical to Ensemble.predict_probs over the completed
+        # members: same normalisation, same accumulation order.
+        alphas = np.asarray([member.alpha for member, _ in outputs])
+        weights = alphas / alphas.sum()
+        combined = np.zeros_like(outputs[0][1])
+        for weight, (_, probs) in zip(weights, outputs):
+            combined += weight * probs
+        self._served += 1
+        mass = 1.0 if self._alpha_configured <= 0 else \
+            float(alphas.sum() / self._alpha_configured)
+        return ServedPrediction(
+            probs=combined,
+            members_used=[member.index for member, _ in outputs],
+            members_skipped=skipped,
+            alpha_mass=mass,
+            deadline_hit=deadline_hit,
+            latency=self.clock() - started,
+        )
+
+    def _validate(self, x) -> np.ndarray:
+        spec = self.config.input_spec
+        if spec is not None:
+            return spec.validate(x)
+        # No spec configured: still refuse poisoned payloads.
+        x = np.asarray(x)
+        if np.issubdtype(x.dtype, np.floating) and \
+                not np.isfinite(x).all():
+            raise InvalidRequest(
+                f"payload contains {int((~np.isfinite(x)).sum())} "
+                "non-finite (NaN/Inf) value(s)", field="values")
+        return x
+
+    # ------------------------------------------------------------------
+    def health(self) -> ServiceHealth:
+        """Current liveness/readiness snapshot (cheap; no model runs)."""
+        live, quarantined = [], {}
+        alpha_live = 0.0
+        for member in self.members:
+            if member.breaker.quarantined:
+                quarantined[member.index] = member.breaker.describe()
+            else:
+                live.append(member.index)
+                alpha_live += member.alpha
+        mass = 1.0 if self._alpha_configured <= 0 else \
+            alpha_live / self._alpha_configured
+        return ServiceHealth(
+            ready=len(live) >= self.min_members,
+            members_total=self.load_report.requested or len(self.members),
+            members_live=live,
+            members_quarantined=quarantined,
+            dropped_at_load={drop.index: drop.reason
+                             for drop in self.load_report.dropped},
+            min_members=self.min_members,
+            effective_alpha_mass=mass,
+            requests_served=self._served,
+            requests_rejected=self._rejected,
+            requests_unavailable=self._unavailable,
+            member_faults={member.index: member.breaker.total_faults
+                           for member in self.members
+                           if member.breaker.total_faults},
+        )

@@ -1,0 +1,128 @@
+"""Request screening: reject malformed inputs before any model runs.
+
+An :class:`InputSpec` captures what one request batch must look like —
+per-sample feature shape, dtype family, optional value range, optional
+batch cap — and :meth:`InputSpec.validate` turns every violation into a
+structured :class:`~repro.serving.errors.InvalidRequest`.  Screening is
+cheap relative to a forward pass (one ``isfinite`` reduction over the
+batch), and it is the only thing standing between a poisoned payload and
+T members confidently softmaxing NaNs.
+
+The spec is usually inferred from known-good data
+(:meth:`InputSpec.from_example` on the training or test split), matching
+the library's "topology is code, weights are data" contract: the service
+learns its input contract from the same split the ensemble was fit on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serving.errors import InvalidRequest
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """The shape/dtype/range contract one request batch must satisfy.
+
+    Attributes
+    ----------
+    feature_shape:
+        Per-sample shape, without the batch axis — ``(3, 32, 32)`` for
+        CIFAR-style images, ``(L,)`` for token-id sequences.
+    kind:
+        ``"f"`` for float features (validated finite, optionally ranged)
+        or ``"i"`` for integer token ids (validated non-negative and,
+        when ``max_value`` is set, within the vocabulary).
+    min_value / max_value:
+        Optional inclusive bounds on the values themselves.
+    max_batch:
+        Optional cap on rows per request (backpressure knob).
+    """
+
+    feature_shape: Tuple[int, ...]
+    kind: str = "f"
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    max_batch: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("f", "i"):
+            raise ValueError(f"kind must be 'f' or 'i', got {self.kind!r}")
+
+    @classmethod
+    def from_example(cls, x, max_batch: Optional[int] = None,
+                     with_range: bool = False) -> "InputSpec":
+        """Infer the contract from a known-good batch (e.g. the test split)."""
+        x = np.asarray(x)
+        if x.ndim < 2:
+            raise ValueError("example batch must have a batch axis")
+        kind = "i" if np.issubdtype(x.dtype, np.integer) else "f"
+        min_value = max_value = None
+        if kind == "i":
+            # Token ids: anything outside the observed id range would index
+            # past the embedding table.
+            min_value, max_value = 0.0, float(x.max())
+        elif with_range:
+            min_value, max_value = float(x.min()), float(x.max())
+        return cls(feature_shape=tuple(x.shape[1:]), kind=kind,
+                   min_value=min_value, max_value=max_value,
+                   max_batch=max_batch)
+
+    # ------------------------------------------------------------------
+    def validate(self, x) -> np.ndarray:
+        """Return ``x`` as a validated array, or raise :class:`InvalidRequest`."""
+        if x is None:
+            raise InvalidRequest("request payload is empty", field="payload")
+        try:
+            x = np.asarray(x)
+        except Exception as error:
+            raise InvalidRequest(
+                f"payload is not array-like: {error}", field="payload")
+        if x.dtype == object:
+            raise InvalidRequest("payload has object dtype (ragged or "
+                                 "non-numeric rows)", field="dtype")
+        expected_ndim = len(self.feature_shape) + 1
+        if x.ndim != expected_ndim:
+            raise InvalidRequest(
+                f"expected a batch of rank-{expected_ndim} "
+                f"(batch, {', '.join(map(str, self.feature_shape))}), "
+                f"got shape {x.shape}", field="shape")
+        if tuple(x.shape[1:]) != self.feature_shape:
+            raise InvalidRequest(
+                f"per-sample shape {tuple(x.shape[1:])} does not match the "
+                f"served model's input {self.feature_shape}", field="shape")
+        if x.shape[0] == 0:
+            raise InvalidRequest("batch is empty", field="shape")
+        if self.max_batch is not None and x.shape[0] > self.max_batch:
+            raise InvalidRequest(
+                f"batch of {x.shape[0]} exceeds the service cap of "
+                f"{self.max_batch} rows", field="shape")
+        if self.kind == "i":
+            if not np.issubdtype(x.dtype, np.integer):
+                raise InvalidRequest(
+                    f"expected integer token ids, got dtype {x.dtype}",
+                    field="dtype")
+        else:
+            if not (np.issubdtype(x.dtype, np.floating)
+                    or np.issubdtype(x.dtype, np.integer)):
+                raise InvalidRequest(
+                    f"expected float features, got dtype {x.dtype}",
+                    field="dtype")
+            bad = ~np.isfinite(x)
+            if bad.any():
+                raise InvalidRequest(
+                    f"payload contains {int(bad.sum())} non-finite "
+                    "(NaN/Inf) value(s)", field="values")
+        if self.min_value is not None and x.min() < self.min_value:
+            raise InvalidRequest(
+                f"value {x.min()} below the allowed minimum "
+                f"{self.min_value}", field="values")
+        if self.max_value is not None and x.max() > self.max_value:
+            raise InvalidRequest(
+                f"value {x.max()} above the allowed maximum "
+                f"{self.max_value}", field="values")
+        return x

@@ -29,6 +29,27 @@ class TestEnsemble:
         with pytest.raises(RuntimeError):
             Ensemble().predict_probs(RNG.normal(size=(2, 4)))
 
+    def test_poisoned_batch_rejected(self):
+        # A NaN row would flow through softmax into a well-formed-looking
+        # (possibly confident) garbage distribution; the ensemble must
+        # refuse the batch up front with the serving taxonomy's
+        # InvalidRequest instead.
+        from repro.serving.errors import InvalidRequest
+
+        ensemble = Ensemble()
+        for s in range(2):
+            ensemble.add(make_model(s), 1.0)
+        poisoned = RNG.normal(size=(5, 4))
+        poisoned[2, 1] = np.nan
+        poisoned[4, 0] = np.inf
+        with pytest.raises(InvalidRequest, match="non-finite") as excinfo:
+            ensemble.predict_probs(poisoned)
+        assert excinfo.value.field == "values"
+        with pytest.raises(InvalidRequest):
+            ensemble.predict(poisoned)
+        with pytest.raises(InvalidRequest):
+            ensemble.evaluate(poisoned, np.zeros(5, dtype=np.int64))
+
     def test_predict_probs_valid_distribution(self):
         ensemble = Ensemble()
         for s in range(3):

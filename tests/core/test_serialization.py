@@ -127,7 +127,72 @@ class TestFormatVersioning:
             load_ensemble(tmp_path / "e.npz", factory)
 
 
+class TestErrorTaxonomy:
+    def test_checkpoint_error_importable_from_both_homes(self):
+        # CheckpointError moved to serialization; the historical import
+        # path through checkpointing must keep working.
+        from repro.core.checkpointing import CheckpointError as via_ckpt
+        from repro.core.serialization import CheckpointError as via_ser
+
+        assert via_ckpt is via_ser
+
+    def test_missing_alphas_is_clean_checkpoint_error(self, factory,
+                                                      tmp_path):
+        from repro.core import CheckpointError
+
+        payload = ensemble_payload(make_ensemble(factory))
+        del payload["__alphas__"]
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(CheckpointError, match="'__alphas__'"):
+            load_ensemble(tmp_path / "e.npz", factory)
+
+    def test_alpha_length_mismatch_is_clean_checkpoint_error(self, factory,
+                                                             tmp_path):
+        # Historically this surfaced as a raw IndexError from
+        # ``alphas[index]``; it must name the mismatched keys instead.
+        from repro.core import CheckpointError
+
+        payload = ensemble_payload(make_ensemble(factory))
+        payload["__alphas__"] = payload["__alphas__"][:2]
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(CheckpointError,
+                           match="__num_models__.*__alphas__"):
+            load_ensemble(tmp_path / "e.npz", factory)
+
+
 class TestAtomicity:
+    def test_tmp_file_fsynced_before_replace(self, factory, tmp_path,
+                                             monkeypatch):
+        # Durability ordering: without an fsync of the temp file *before*
+        # os.replace, a crash can atomically rename a torn archive into
+        # place — the exact failure strict=False loading then eats.
+        import os
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: events.append("fsync") or
+                            real_fsync(fd))
+        monkeypatch.setattr(os, "replace",
+                            lambda src, dst: events.append("replace") or
+                            real_replace(src, dst))
+        save_ensemble(make_ensemble(factory), tmp_path / "e.npz")
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_directory_fsync_failure_is_tolerated(self, factory, tmp_path,
+                                                  monkeypatch):
+        # Directory fsync is best-effort: a filesystem that refuses to
+        # open directories costs durability, never the save itself.
+        import os
+
+        monkeypatch.setattr(
+            os, "open",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no dir fds")))
+        path = tmp_path / "e.npz"
+        save_ensemble(make_ensemble(factory), path)
+        assert len(load_ensemble(path, factory)) == 3
+
     def test_no_temporary_files_after_save(self, factory, tmp_path):
         save_ensemble(make_ensemble(factory), tmp_path / "e.npz")
         assert sorted(p.name for p in tmp_path.iterdir()) == ["e.npz"]

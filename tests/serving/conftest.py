@@ -1,0 +1,49 @@
+"""Shared serving fixtures: a small saved ensemble and request batches.
+
+Everything here is MLP-sized so the whole serving suite runs in seconds;
+the trained-method coverage (EDDE + a baseline through the real engine)
+lives in ``test_loading.py`` and reuses the session-scoped tiny split
+from the root conftest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, save_ensemble
+from repro.models import MLP, ModelFactory
+
+RNG = np.random.default_rng(23)
+
+
+@pytest.fixture
+def factory():
+    return ModelFactory(MLP, input_dim=4, num_classes=3, hidden=(6,))
+
+
+@pytest.fixture
+def ensemble(factory):
+    """Four members with distinct α so renormalisation is observable."""
+    ensemble = Ensemble()
+    for seed in range(4):
+        ensemble.add(factory.build(rng=seed), alpha=seed + 0.5)
+    return ensemble
+
+
+@pytest.fixture
+def saved(ensemble, tmp_path):
+    path = tmp_path / "ensemble.npz"
+    save_ensemble(ensemble, path)
+    return path
+
+
+@pytest.fixture
+def request_batch():
+    return RNG.normal(size=(10, 4))
+
+
+def sub_ensemble(ensemble, indices):
+    """A fresh ensemble of the chosen members, α preserved."""
+    subset = Ensemble()
+    for index in indices:
+        subset.add(ensemble.models[index], ensemble.alphas[index])
+    return subset

@@ -1,0 +1,69 @@
+"""The kill-one-member acceptance property, end to end.
+
+With one member corrupted *on disk* and another quarantined by the
+circuit breaker *at runtime*, the service must still answer; its output
+must be bit-identical to the α-renormalised Eq. 16 aggregate of the
+surviving members; and ``ServiceHealth`` must name exactly which members
+were lost at which stage, and why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceService, InputSpec, ServiceConfig
+from repro.serving.faults import CorruptArchive, FlakyMember, ManualClock
+
+from tests.serving.conftest import sub_ensemble
+
+
+class TestKillOneMemberEndToEnd:
+    @pytest.fixture
+    def degraded_service(self, saved, factory, request_batch):
+        # Stage 1: member 1 is corrupted on disk (torn write).
+        CorruptArchive(saved).corrupt_member(1)
+        clock = ManualClock()
+        service = InferenceService.from_archive(
+            saved, factory,
+            ServiceConfig(clock=clock, fault_threshold=2,
+                          input_spec=InputSpec.from_example(request_batch)))
+        # Stage 2: member 2 (original index) starts crashing at runtime
+        # until its breaker quarantines it.
+        position = [m.index for m in service.members].index(2)
+        service.members[position].model = FlakyMember(
+            service.members[position].model)
+        for _ in range(2):
+            service.predict(request_batch)
+        return service
+
+    def test_still_answers_bit_identically(self, degraded_service, ensemble,
+                                           request_batch):
+        answer = degraded_service.predict(request_batch)
+        assert answer.members_used == [0, 3]
+        survivors = sub_ensemble(ensemble, [0, 3])
+        assert np.array_equal(answer.probs,
+                              survivors.predict_probs(request_batch))
+        assert answer.probs.shape == (len(request_batch), 3)
+        np.testing.assert_allclose(answer.probs.sum(axis=1), 1.0, atol=1e-9)
+        assert answer.degraded
+        # α used = 0.5 + 3.5 of configured 0.5 + 1.5 + 2.5 + 3.5
+        assert answer.alpha_mass == pytest.approx(4.0 / 8.0)
+
+    def test_health_names_every_loss(self, degraded_service):
+        health = degraded_service.health()
+        assert health.ready                       # 2 live >= ceil(4/2)
+        assert health.members_total == 4
+        assert health.members_live == [0, 3]
+        assert list(health.dropped_at_load) == [1]
+        assert "not a valid npy entry" in health.dropped_at_load[1]
+        assert list(health.members_quarantined) == [2]
+        assert "injected member crash" in health.members_quarantined[2]
+        assert health.member_faults == {2: 2}
+        assert health.effective_alpha_mass == pytest.approx(4.0 / 8.0)
+
+    def test_quarantined_member_not_called_again(self, degraded_service,
+                                                 request_batch):
+        position = [m.index for m in degraded_service.members].index(2)
+        flaky = degraded_service.members[position].model
+        calls_before = flaky.calls
+        degraded_service.predict(request_batch)
+        assert flaky.calls == calls_before

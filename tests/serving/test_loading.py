@@ -1,0 +1,193 @@
+"""Resilient loading across the archive failure matrix.
+
+Strict mode raises (a clean ``CheckpointError``/``ValueError``, never a
+raw ``KeyError``/``IndexError`` from the archive); non-strict mode
+restores every member it can and reports the drops.  The matrix covers:
+truncated archive, corrupt member arrays, missing member entries,
+NaN-poisoned weights, v1 archives, wrong ``__arch_tag__``, missing or
+mis-sized α vector — plus the same strict/degraded paths on ensembles
+trained by the real engine (EDDE and Bagging).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Bagging, BaselineConfig
+from repro.core import (
+    CheckpointError,
+    EDDEConfig,
+    EDDETrainer,
+    LoadReport,
+    load_ensemble,
+    save_ensemble,
+)
+from repro.serving.faults import CorruptArchive
+
+from tests.serving.conftest import sub_ensemble
+
+RNG = np.random.default_rng(5)
+
+
+class TestArchiveLevelDamage:
+    """Damage no load mode can serve through: both modes raise cleanly."""
+
+    def test_truncated_archive_strict(self, saved, factory):
+        CorruptArchive(saved).truncate(keep_fraction=0.4)
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_ensemble(saved, factory, strict=True)
+
+    def test_truncated_archive_non_strict(self, saved, factory):
+        # Nothing is salvageable from a torn zip: non-strict degrades to
+        # a clean error naming the path, not a zipfile traceback.
+        CorruptArchive(saved).truncate(keep_fraction=0.4)
+        with pytest.raises(CheckpointError, match=str(saved)):
+            load_ensemble(saved, factory, strict=False)
+
+    def test_missing_file(self, tmp_path, factory):
+        with pytest.raises(CheckpointError, match="no ensemble archive"):
+            load_ensemble(tmp_path / "absent.npz", factory)
+
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_missing_alpha_vector(self, saved, factory, strict):
+        CorruptArchive(saved).drop_key("__alphas__")
+        with pytest.raises(CheckpointError, match="__alphas__"):
+            load_ensemble(saved, factory, strict=strict)
+
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_alpha_length_mismatch(self, ensemble, factory, tmp_path, strict):
+        # Satellite: count/α mismatch is a clean CheckpointError naming
+        # the keys, not an IndexError from alphas[index].
+        from repro.core.serialization import ensemble_payload
+
+        payload = ensemble_payload(ensemble)
+        payload["__alphas__"] = np.asarray(ensemble.alphas)[:-1]
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(CheckpointError,
+                           match="declares 4 member.*3 entries"):
+            load_ensemble(tmp_path / "e.npz", factory, strict=strict)
+
+    def test_extra_member_keys_strict(self, ensemble, factory, tmp_path):
+        from repro.core.serialization import ensemble_payload
+
+        payload = ensemble_payload(ensemble)
+        payload["__num_models__"] = np.array(3)
+        payload["__alphas__"] = np.asarray(ensemble.alphas)[:3]
+        np.savez(tmp_path / "e.npz", **payload)
+        with pytest.raises(CheckpointError, match="extra key.*model3/"):
+            load_ensemble(tmp_path / "e.npz", factory, strict=True)
+        # Non-strict ignores the orphan keys (they have no α to serve with).
+        restored = load_ensemble(tmp_path / "e.npz", factory, strict=False)
+        assert len(restored) == 3
+
+    def test_wrong_arch_tag_both_modes(self, saved, factory, tmp_path):
+        from repro.core.serialization import ensemble_payload
+        from repro.core import Ensemble
+
+        with np.load(saved) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["__arch_tag__"] = np.array("ResNetCIFAR")
+        np.savez(tmp_path / "wrong.npz", **payload)
+        for strict in (True, False):
+            with pytest.raises(ValueError, match="architecture mismatch"):
+                load_ensemble(tmp_path / "wrong.npz", factory, strict=strict)
+
+    def test_all_members_corrupt_non_strict(self, saved, factory):
+        archive = CorruptArchive(saved)
+        for index in range(4):
+            archive.corrupt_member(index)
+        with pytest.raises(CheckpointError, match="no members could be"):
+            load_ensemble(saved, factory, strict=False)
+
+
+class TestPerMemberDamage:
+    """Damage scoped to one member: strict raises, non-strict degrades."""
+
+    @pytest.mark.parametrize("damage, reason_match", [
+        ("corrupt", "not a valid npy entry"),
+        ("drop", "no arrays stored"),
+        ("poison", "non-finite values"),
+    ])
+    def test_strict_raises_naming_the_member(self, saved, factory, damage,
+                                             reason_match):
+        archive = CorruptArchive(saved)
+        getattr(archive, {"corrupt": "corrupt_member",
+                          "drop": "drop_member",
+                          "poison": "poison_member"}[damage])(1)
+        with pytest.raises(CheckpointError, match=f"member 1.*{reason_match}"):
+            load_ensemble(saved, factory, strict=True)
+
+    @pytest.mark.parametrize("damage", ["corrupt", "drop", "poison"])
+    def test_non_strict_drops_and_reports(self, saved, factory, ensemble,
+                                          request_batch, damage):
+        archive = CorruptArchive(saved)
+        getattr(archive, {"corrupt": "corrupt_member",
+                          "drop": "drop_member",
+                          "poison": "poison_member"}[damage])(1)
+        report = LoadReport()
+        restored = load_ensemble(saved, factory, strict=False, report=report)
+
+        assert report.requested == 4
+        assert report.loaded_indices == [0, 2, 3]
+        assert [drop.index for drop in report.dropped] == [1]
+        assert report.dropped[0].alpha == pytest.approx(1.5)
+        assert report.degraded
+        assert report.alpha_retained == pytest.approx(
+            (0.5 + 2.5 + 3.5) / (0.5 + 1.5 + 2.5 + 3.5))
+        # Degraded predictions are bit-identical to the α-renormalised
+        # aggregate of the surviving members (Eq. 16 over the subset).
+        survivors = sub_ensemble(ensemble, [0, 2, 3])
+        assert np.array_equal(restored.predict_probs(request_batch),
+                              survivors.predict_probs(request_batch))
+
+    def test_v1_archive_loads_degraded_too(self, ensemble, factory, tmp_path,
+                                           request_batch):
+        from repro.core.serialization import ensemble_payload
+
+        payload = ensemble_payload(ensemble)
+        del payload["__arch_tag__"]
+        payload["__format_version__"] = np.array(1)
+        np.savez(tmp_path / "v1.npz", **payload)
+        CorruptArchive(tmp_path / "v1.npz").corrupt_member(0)
+        report = LoadReport()
+        with pytest.warns(UserWarning, match="predates architecture tags"):
+            restored = load_ensemble(tmp_path / "v1.npz", factory,
+                                     strict=False, report=report)
+        assert report.loaded_indices == [1, 2, 3]
+        survivors = sub_ensemble(ensemble, [1, 2, 3])
+        assert np.array_equal(restored.predict_probs(request_batch),
+                              survivors.predict_probs(request_batch))
+
+
+class TestTrainedMethods:
+    """The same strict/degraded paths on engine-trained ensembles."""
+
+    @pytest.mark.parametrize("method", ["edde", "bagging"])
+    def test_degraded_load_of_trained_ensemble(self, method, tiny_image_split,
+                                               mlp_factory, tmp_path):
+        if method == "edde":
+            config = EDDEConfig(num_models=3, gamma=0.1, beta=0.6,
+                                first_epochs=1, later_epochs=1, lr=0.05,
+                                batch_size=32, weight_decay=0.0)
+            result = EDDETrainer(mlp_factory, config).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=0)
+        else:
+            config = BaselineConfig(num_models=3, epochs_per_model=1,
+                                    lr=0.05, batch_size=32, weight_decay=0.0)
+            result = Bagging(mlp_factory, config).fit(
+                tiny_image_split.train, tiny_image_split.test, rng=0)
+        path = tmp_path / f"{method}.npz"
+        save_ensemble(result.ensemble, path)
+        CorruptArchive(path).corrupt_member(0)
+
+        with pytest.raises(CheckpointError, match="member 0"):
+            load_ensemble(path, mlp_factory, strict=True)
+
+        report = LoadReport()
+        restored = load_ensemble(path, mlp_factory, strict=False,
+                                 report=report)
+        assert report.loaded_indices == [1, 2]
+        assert len(restored) == 2
+        survivors = sub_ensemble(result.ensemble, [1, 2])
+        x = tiny_image_split.test.x[:16]
+        assert np.array_equal(restored.predict_probs(x),
+                              survivors.predict_probs(x))

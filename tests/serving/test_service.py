@@ -1,0 +1,271 @@
+"""InferenceService semantics: validation, breakers, deadlines, health.
+
+Every time-dependent behaviour (breaker cooldown, deadlines) runs on a
+``ManualClock``, so the whole state machine is deterministic — nothing
+here sleeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    InferenceService,
+    InputSpec,
+    InvalidRequest,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.serving.breaker import CLOSED, OPEN, CircuitBreaker
+from repro.serving.faults import (
+    CorruptArchive,
+    FlakyMember,
+    ManualClock,
+    SlowMember,
+)
+
+from tests.serving.conftest import sub_ensemble
+
+
+def make_service(saved, factory, request_batch, **config_kwargs):
+    config_kwargs.setdefault("clock", ManualClock())
+    config_kwargs.setdefault("input_spec",
+                             InputSpec.from_example(request_batch))
+    config = ServiceConfig(**config_kwargs)
+    return InferenceService.from_archive(saved, factory, config), config
+
+
+class TestValidation:
+    def test_nan_payload_rejected(self, saved, factory, request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        poisoned = request_batch.copy()
+        poisoned[0, 0] = np.nan
+        with pytest.raises(InvalidRequest, match="non-finite") as excinfo:
+            service.predict(poisoned)
+        assert excinfo.value.field == "values"
+        assert service.health().requests_rejected == 1
+
+    def test_wrong_shape_rejected(self, saved, factory, request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        with pytest.raises(InvalidRequest, match="shape") as excinfo:
+            service.predict(np.zeros((3, 7)))
+        assert excinfo.value.field == "shape"
+
+    def test_wrong_rank_rejected(self, saved, factory, request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        with pytest.raises(InvalidRequest):
+            service.predict(np.zeros(4))
+
+    def test_non_positive_deadline_rejected(self, saved, factory,
+                                            request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        with pytest.raises(InvalidRequest, match="deadline"):
+            service.predict(request_batch, deadline=0.0)
+
+    def test_token_spec_rejects_floats_and_oov(self):
+        spec = InputSpec.from_example(np.array([[1, 2, 3], [4, 5, 6]]))
+        with pytest.raises(InvalidRequest, match="integer token ids"):
+            spec.validate(np.zeros((1, 3)))
+        with pytest.raises(InvalidRequest, match="above the allowed"):
+            spec.validate(np.array([[7, 8, 9]]))
+
+    def test_no_spec_still_screens_nan(self, saved, factory, request_batch):
+        service, _ = make_service(saved, factory, request_batch,
+                                  input_spec=None)
+        with pytest.raises(InvalidRequest, match="non-finite"):
+            service.predict(np.full((2, 4), np.inf))
+
+
+class TestAggregateParity:
+    def test_full_service_matches_ensemble(self, saved, factory, ensemble,
+                                           request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        answer = service.predict(request_batch)
+        assert np.array_equal(answer.probs,
+                              ensemble.predict_probs(request_batch))
+        assert answer.members_used == [0, 1, 2, 3]
+        assert not answer.degraded
+        assert answer.alpha_mass == pytest.approx(1.0)
+
+    def test_member_fault_excluded_from_aggregate(self, saved, factory,
+                                                  ensemble, request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        service.members[2].model = FlakyMember(service.members[2].model)
+        answer = service.predict(request_batch)
+        assert answer.members_used == [0, 1, 3]
+        assert [(i, kind) for i, kind, _ in answer.members_skipped] == \
+            [(2, "fault")]
+        survivors = sub_ensemble(ensemble, [0, 1, 3])
+        assert np.array_equal(answer.probs,
+                              survivors.predict_probs(request_batch))
+        assert answer.degraded
+
+    def test_nan_member_output_is_a_fault(self, saved, factory, ensemble,
+                                          request_batch):
+        service, _ = make_service(saved, factory, request_batch)
+        service.members[0].model = FlakyMember(service.members[0].model,
+                                               mode="nan")
+        answer = service.predict(request_batch)
+        assert answer.members_used == [1, 2, 3]
+        assert "non-finite" in answer.members_skipped[0][2]
+        assert np.isfinite(answer.probs).all()
+
+
+class TestCircuitBreaker:
+    def test_unit_state_machine(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(fault_threshold=2, cooldown=10.0,
+                                 clock=clock)
+        assert breaker.allow() and breaker.state == CLOSED
+        breaker.record_fault("boom")
+        assert breaker.state == CLOSED          # below threshold
+        breaker.record_fault("boom")
+        assert breaker.state == OPEN and not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()                  # half-open probe admitted
+        breaker.record_fault("still broken")
+        assert breaker.state == OPEN            # probe failed: re-open
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.consecutive_faults == 0
+
+    def test_quarantined_member_stops_being_called(self, saved, factory,
+                                                   request_batch):
+        service, _ = make_service(saved, factory, request_batch,
+                                  fault_threshold=2)
+        flaky = FlakyMember(service.members[1].model)
+        service.members[1].model = flaky
+        for _ in range(5):
+            service.predict(request_batch)
+        # Two faults tripped the breaker; the remaining three requests
+        # never reached the member.
+        assert flaky.calls == 2
+        health = service.health()
+        assert 1 in health.members_quarantined
+        assert "injected member crash" in health.members_quarantined[1]
+        assert health.member_faults[1] == 2
+
+    def test_half_open_probe_readmits_recovered_member(self, saved, factory,
+                                                       ensemble,
+                                                       request_batch):
+        clock = ManualClock()
+        service, _ = make_service(saved, factory, request_batch,
+                                  clock=clock, fault_threshold=1,
+                                  breaker_cooldown=5.0)
+        flaky = FlakyMember(service.members[3].model, every=10 ** 9)
+        service.members[3].model = flaky
+        service.predict(request_batch)          # fault -> quarantined
+        assert service.members[3].breaker.state == OPEN
+        service.predict(request_batch)          # still cooling down
+        assert flaky.calls == 1
+
+        clock.advance(5.0)
+        answer = service.predict(request_batch)  # probe passes: re-admitted
+        assert flaky.calls == 2
+        assert service.members[3].breaker.state == CLOSED
+        assert answer.members_used == [0, 1, 2, 3]
+        assert np.array_equal(answer.probs,
+                              ensemble.predict_probs(request_batch))
+
+    def test_all_members_quarantined_is_unavailable(self, saved, factory,
+                                                    request_batch):
+        service, _ = make_service(saved, factory, request_batch,
+                                  fault_threshold=1)
+        for member in service.members:
+            member.model = FlakyMember(member.model)
+        with pytest.raises(ServiceUnavailable, match="no member produced"):
+            service.predict(request_batch)
+        with pytest.raises(ServiceUnavailable, match="quarantined"):
+            service.predict(request_batch)
+        health = service.health()
+        assert not health.ready
+        assert health.members_live == []
+        assert health.requests_unavailable == 2
+
+
+class TestDeadlines:
+    def test_partial_equals_aggregate_of_finishers(self, saved, factory,
+                                                   ensemble, request_batch):
+        clock = ManualClock()
+        service, _ = make_service(saved, factory, request_batch, clock=clock)
+        # Member 1 burns the whole budget; members 2 and 3 never start.
+        service.members[1].model = SlowMember(service.members[1].model,
+                                              seconds=1.0, clock=clock)
+        answer = service.predict(request_batch, deadline=0.5)
+        assert answer.members_used == [0, 1]
+        assert [(i, kind) for i, kind, _ in answer.members_skipped] == \
+            [(2, "deadline"), (3, "deadline")]
+        assert answer.deadline_hit and answer.degraded
+        finishers = sub_ensemble(ensemble, [0, 1])
+        assert np.array_equal(answer.probs,
+                              finishers.predict_probs(request_batch))
+
+    def test_generous_deadline_serves_everyone(self, saved, factory,
+                                               ensemble, request_batch):
+        clock = ManualClock()
+        service, _ = make_service(saved, factory, request_batch, clock=clock)
+        service.members[0].model = SlowMember(service.members[0].model,
+                                              seconds=0.01, clock=clock)
+        answer = service.predict(request_batch, deadline=10.0)
+        assert answer.members_used == [0, 1, 2, 3]
+        assert not answer.deadline_hit
+        assert np.array_equal(answer.probs,
+                              ensemble.predict_probs(request_batch))
+
+
+class TestQuorum:
+    def test_refuses_to_start_below_quorum(self, saved, factory,
+                                           request_batch):
+        archive = CorruptArchive(saved)
+        for index in (1, 2, 3):
+            archive.corrupt_member(index)
+        with pytest.raises(ServiceUnavailable, match="quorum not met"):
+            make_service(saved, factory, request_batch)
+
+    def test_default_quorum_is_majority(self, saved, factory, request_batch):
+        CorruptArchive(saved).corrupt_member(0)
+        service, _ = make_service(saved, factory, request_batch)
+        assert service.min_members == 2       # ceil(4 / 2)
+        assert service.health().ready
+
+    def test_min_members_one_serves_a_single_survivor(self, saved, factory,
+                                                      ensemble,
+                                                      request_batch):
+        archive = CorruptArchive(saved)
+        for index in (0, 1, 2):
+            archive.corrupt_member(index)
+        service, _ = make_service(saved, factory, request_batch,
+                                  min_members=1)
+        answer = service.predict(request_batch)
+        assert answer.members_used == [3]
+        survivor = sub_ensemble(ensemble, [3])
+        assert np.array_equal(answer.probs,
+                              survivor.predict_probs(request_batch))
+
+    def test_strict_mode_refuses_damaged_archive(self, saved, factory,
+                                                 request_batch):
+        CorruptArchive(saved).corrupt_member(0)
+        with pytest.raises(ServiceUnavailable, match="cannot load"):
+            make_service(saved, factory, request_batch, strict=True)
+
+
+class TestHealth:
+    def test_counters_and_masses(self, saved, factory, request_batch):
+        CorruptArchive(saved).corrupt_member(1)
+        service, _ = make_service(saved, factory, request_batch,
+                                  fault_threshold=1)
+        service.members[2].model = FlakyMember(service.members[2].model)
+        service.predict(request_batch)
+        with pytest.raises(InvalidRequest):
+            service.predict(np.full((1, 4), np.nan))
+        health = service.health()
+        assert health.members_total == 4
+        assert health.members_live == [0, 2]
+        assert list(health.members_quarantined) == [3]
+        assert list(health.dropped_at_load) == [1]
+        # live α = 0.5 + 2.5 of configured 0.5+1.5+2.5+3.5
+        assert health.effective_alpha_mass == pytest.approx(3.0 / 8.0)
+        assert health.requests_served == 1
+        assert health.requests_rejected == 1

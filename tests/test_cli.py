@@ -53,6 +53,72 @@ class TestCommands:
         assert "EDDE" in output
 
 
+class TestServeEval:
+    @pytest.fixture(autouse=True)
+    def tiny_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "0.13")
+
+    @pytest.fixture
+    def saved_ensemble(self, tmp_path):
+        path = str(tmp_path / "ens.npz")
+        assert main(["train", "--scenario", "c10-resnet", "--method", "edde",
+                     "--save", path]) == 0
+        return path
+
+    def test_clean_serving(self, capsys, saved_ensemble):
+        code = main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", saved_ensemble, "--requests", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 answered" in out
+        assert "accuracy (served)" in out
+        assert "service health:    ready" in out
+
+    def test_degraded_serving_under_injection(self, capsys, saved_ensemble):
+        code = main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", saved_ensemble, "--requests", "4",
+                     "--inject", "corrupt:0,flaky:1:every=1",
+                     "--fault-threshold", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inject: corrupted member 0 arrays" in out
+        assert "dropped #0 at load" in out
+        assert "quarantined #1" in out
+        assert "4 answered" in out
+        # The rehearsal ran on a copy: the artifact still loads strictly.
+        assert main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", saved_ensemble, "--requests", "1",
+                     "--strict"]) == 0
+
+    def test_quorum_refusal_is_clean_exit_2(self, capsys, saved_ensemble):
+        code = main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", saved_ensemble, "--requests", "2",
+                     "--inject", "truncate"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "service refused to start" in err
+        assert "Traceback" not in err
+
+    def test_poisoned_requests_are_rejected_not_served(self, capsys,
+                                                       saved_ensemble):
+        code = main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", saved_ensemble, "--requests", "4",
+                     "--poison-every", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 rejected" in out
+        assert "non-finite" in out
+
+    def test_bad_inject_spec_is_clean_error(self, capsys, tmp_path):
+        code = main(["serve-eval", "--scenario", "c10-resnet",
+                     "--ensemble", str(tmp_path / "whatever.npz"),
+                     "--inject", "explode:0"])
+        assert code == 2
+        assert "bad --inject spec" in capsys.readouterr().err
+
+
 class TestFaultToleranceFlags:
     @pytest.fixture(autouse=True)
     def tiny_env(self, monkeypatch):
