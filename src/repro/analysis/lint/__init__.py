@@ -1,0 +1,76 @@
+"""``repro lint`` — the project's AST-based invariant checker.
+
+Five rules encode the invariants PRs 1–4 established in prose:
+
+====== ===================== ==========================================
+code   name                  invariant
+====== ===================== ==========================================
+RL001  import-layering       ops -> tensor -> nn -> models -> core ->
+                             {serving, experiments, cli} DAG; no upward
+                             imports, no module-level import cycles
+RL002  determinism           RNG arrives as a Generator argument; no
+                             global np.random/stdlib random, no wall
+                             clock in deterministic layers
+RL003  dtype-policy          float-producing np constructors name their
+                             dtype (float32 default vs silent float64)
+RL004  op-registry-contract  every forward has a backward; kernels never
+                             import repro.tensor; backward reads only
+                             stashed ctx attrs; multi-grad backwards
+                             consult ctx.needs
+RL005  fault-path-hygiene    no bare except, no swallowed broad except
+====== ===================== ==========================================
+
+Violations are suppressed inline with ``# repro-lint: disable=CODE``
+(reason in trailing parentheses); ``repro lint --stats`` emits a JSON
+summary for trend tracking.  The package is stdlib-only (``ast`` +
+``tokenize``) and imports nothing from the numeric stack, so it can gate
+CI before anything heavy loads.
+"""
+
+from repro.analysis.lint.engine import (
+    LintReport,
+    Project,
+    Rule,
+    SourceFile,
+    Violation,
+    collect_files,
+    run_lint,
+)
+from repro.analysis.lint.layers import LAYER_GRAPH, LayeringRule, transitive_closure
+from repro.analysis.lint.determinism import DeterminismRule
+from repro.analysis.lint.dtype_policy import DtypePolicyRule
+from repro.analysis.lint.registry_contract import RegistryContractRule
+from repro.analysis.lint.fault_hygiene import FaultHygieneRule
+
+
+def default_rules():
+    """Fresh instances of every shipped rule, in code order."""
+    return [
+        LayeringRule(),
+        DeterminismRule(),
+        DtypePolicyRule(),
+        RegistryContractRule(),
+        FaultHygieneRule(),
+    ]
+
+
+ALL_RULES = default_rules()
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "DtypePolicyRule",
+    "FaultHygieneRule",
+    "LAYER_GRAPH",
+    "LayeringRule",
+    "LintReport",
+    "Project",
+    "RegistryContractRule",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "collect_files",
+    "default_rules",
+    "run_lint",
+    "transitive_closure",
+]

@@ -1,0 +1,96 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c`` (else ``None``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def call_target(call: ast.Call) -> Optional[str]:
+    """Dotted name a call dispatches to (``np.random.seed`` for that call)."""
+    return dotted_name(call.func)
+
+
+def keyword_names(call: ast.Call) -> set:
+    return {kw.arg for kw in call.keywords if kw.arg is not None}
+
+
+def numpy_aliases(tree: ast.Module) -> set:
+    """Local names bound to the numpy module (``np``, ``numpy``, ...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def repro_imports(tree: ast.Module,
+                  known_subpackages: Tuple[str, ...] = (),
+                  top_level_only: bool = False) -> Iterator[Tuple[str, int, bool]]:
+    """Yield ``(target_module, lineno, is_top_level)`` for ``repro`` imports.
+
+    ``from repro import nn`` maps to ``repro.nn`` when ``nn`` is a known
+    subpackage; ``from repro import EDDEConfig`` maps to ``repro`` (the
+    facade).  ``from repro.nn import functional`` maps to
+    ``repro.nn.functional`` (callers decide whether that resolves to a
+    module or the package).
+    """
+    top_level = _import_time_nodes(tree)
+    for node in ast.walk(tree):
+        top = id(node) in top_level
+        if top_level_only and not top:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield alias.name, node.lineno, top
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "repro":
+                for alias in node.names:
+                    if alias.name in known_subpackages:
+                        yield f"repro.{alias.name}", node.lineno, top
+                    else:
+                        yield "repro", node.lineno, top
+            elif module.startswith("repro."):
+                for alias in node.names:
+                    yield f"{module}.{alias.name}", node.lineno, top
+
+
+def _import_time_nodes(tree: ast.Module) -> set:
+    """ids of statements executed at import time (module/class scope).
+
+    Imports inside function bodies are lazy at runtime — cycle detection
+    skips them (that is the sanctioned way to break an import cycle), the
+    layering check does not.
+    """
+    executed: set = set()
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        executed.add(id(node))
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+    return executed

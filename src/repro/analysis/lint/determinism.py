@@ -1,0 +1,99 @@
+"""RL002 — determinism: randomness arrives as a ``Generator``, never global.
+
+Bit-identical checkpoint resume, the Eq. 14 weight replay and the golden
+parity suite all assume that every stochastic choice flows from an
+explicit ``numpy.random.Generator`` argument (see ``repro.utils.rng``).
+A single ``np.random.seed``/``np.random.rand`` call — or a stdlib
+``random``/wall-clock read — anywhere in the numeric layers silently
+breaks all three, usually months later when somebody re-runs a config.
+
+Two scopes:
+
+* global-state RNG (``np.random.*`` other than constructing generators,
+  and the stdlib ``random`` module) is banned in *all* scanned code;
+* wall-clock reads (``time.time``, ``datetime.now`` and friends) are
+  banned only in the deterministic packages — serving and the benchmark
+  harnesses legitimately read clocks.  ``time.perf_counter`` is always
+  fine: durations are telemetry, not inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.lint._ast_util import call_target, iter_calls, numpy_aliases
+from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
+
+# np.random attributes that construct seeded generators (allowed) rather
+# than touching the hidden global BitGenerator (banned).
+_SAFE_NP_RANDOM = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+_BANNED_CLOCKS = {
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+DETERMINISTIC_PACKAGES: Set[str] = {
+    "ops", "tensor", "nn", "optim", "data", "models", "core", "baselines",
+}
+
+
+class DeterminismRule(Rule):
+    code = "RL002"
+    name = "determinism"
+    rationale = ("Global RNG state and wall-clock reads make runs "
+                 "unreproducible; RNG must arrive as an explicit "
+                 "numpy.random.Generator argument.")
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
+        np_names = numpy_aliases(file.tree) | {"numpy"}
+        clock_scope = file.package in DETERMINISTIC_PACKAGES
+
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._violation(
+                            file, node.lineno,
+                            "stdlib 'random' is global-state; take a "
+                            "numpy.random.Generator argument instead")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield self._violation(
+                        file, node.lineno,
+                        "stdlib 'random' is global-state; take a "
+                        "numpy.random.Generator argument instead")
+
+        for call in iter_calls(file.tree):
+            target = call_target(call)
+            if target is None:
+                continue
+            parts = target.split(".")
+            if (len(parts) == 3 and parts[0] in np_names
+                    and parts[1] == "random"
+                    and parts[2] not in _SAFE_NP_RANDOM):
+                yield self._violation(
+                    file, call.lineno,
+                    f"'{target}' uses numpy's hidden global RNG state; "
+                    "use an explicit Generator (repro.utils.rng.new_rng)")
+            elif target.startswith("random.") and len(parts) == 2:
+                yield self._violation(
+                    file, call.lineno,
+                    f"'{target}' uses stdlib global RNG state; use an "
+                    "explicit numpy.random.Generator")
+            elif clock_scope and target in _BANNED_CLOCKS:
+                yield self._violation(
+                    file, call.lineno,
+                    f"'{target}' reads the wall clock inside a "
+                    "deterministic layer; results must not depend on "
+                    "real time (time.perf_counter is fine for durations)")
+
+    def _violation(self, file: SourceFile, line: int, message: str) -> Violation:
+        return Violation(code=self.code, path=str(file.path), line=line,
+                         message=message)

@@ -1,0 +1,103 @@
+"""RL003 — the float dtype policy: no dtype-less float constructors.
+
+``np.zeros(...)`` and friends default to float64; the library policy
+(:mod:`repro.tensor.dtypes`) is float32 unless overridden.  A dtype-less
+constructor in library code therefore silently upcasts whatever touches
+it — the exact drift class the runtime sanitizer catches at dispatch
+time, caught here before the code ever runs.  Every float-producing
+constructor must say which dtype it means: ``default_dtype()`` for
+arrays that feed tensors, an explicit ``np.float64`` for numerics that
+deliberately run at generator precision (boosting weights, synthetic
+data generation).
+
+Heuristics keep the rule quiet on calls that cannot drift:
+
+* ``np.zeros/ones/empty/linspace`` without ``dtype=`` always flag;
+* ``np.full`` flags unless the fill value is an integer literal;
+* ``np.arange`` flags only when an argument is a float literal;
+* ``np.array`` flags only when passed a literal list/tuple containing a
+  float constant — ``np.array(existing)`` preserves dtype and is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.lint._ast_util import (
+    call_target,
+    iter_calls,
+    keyword_names,
+    numpy_aliases,
+)
+from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
+
+_ALWAYS_FLOAT = {"zeros", "ones", "empty", "linspace"}
+_CHECKED = _ALWAYS_FLOAT | {"full", "arange", "array"}
+
+
+def _has_float_literal(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, float):
+            return True
+    return False
+
+
+class DtypePolicyRule(Rule):
+    code = "RL003"
+    name = "dtype-policy"
+    rationale = ("Dtype-less float constructors default to float64 and "
+                 "silently upcast the float32 library default; name the "
+                 "dtype (default_dtype() or an explicit np.float64).")
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
+        if not file.is_repro_module():
+            return
+        np_names = numpy_aliases(file.tree) | {"numpy"}
+        for call in iter_calls(file.tree):
+            func = self._numpy_constructor(call, np_names)
+            if func is None or "dtype" in keyword_names(call):
+                continue
+            if func in _ALWAYS_FLOAT:
+                reason = "defaults to float64"
+            elif func == "full" and self._full_is_float(call):
+                reason = "infers float64 from its fill value"
+            elif func == "arange" and any(_has_float_literal(a) for a in call.args):
+                reason = "infers float64 from its float arguments"
+            elif func == "array" and self._array_is_float_literal(call):
+                reason = "materialises its float literals as float64"
+            else:
+                continue
+            yield Violation(
+                code=self.code, path=str(file.path), line=call.lineno,
+                message=(f"dtype-less np.{func}(...) {reason}; pass "
+                         "dtype=default_dtype() (or an explicit dtype "
+                         "if float64 is intentional)"))
+
+    @staticmethod
+    def _numpy_constructor(call: ast.Call, np_names) -> Optional[str]:
+        target = call_target(call)
+        if target is None:
+            return None
+        parts = target.split(".")
+        if len(parts) == 2 and parts[0] in np_names and parts[1] in _CHECKED:
+            return parts[1]
+        return None
+
+    @staticmethod
+    def _full_is_float(call: ast.Call) -> bool:
+        if len(call.args) < 2:
+            return False
+        fill = call.args[1]
+        if isinstance(fill, ast.Constant) and isinstance(fill.value, (int, bool)):
+            return False
+        return True
+
+    @staticmethod
+    def _array_is_float_literal(call: ast.Call) -> bool:
+        if not call.args:
+            return False
+        payload = call.args[0]
+        if not isinstance(payload, (ast.List, ast.Tuple)):
+            return False
+        return _has_float_literal(payload)

@@ -1,0 +1,67 @@
+"""RL005 — fault-path hygiene: no bare or silently swallowed excepts.
+
+The fault-tolerance machinery (PR 2) and the serving degradation path
+(PR 4) are built on *classified* failures: divergence, member faults and
+load corruption are caught narrowly, recorded, and surfaced.  A bare
+``except:`` also catches ``KeyboardInterrupt``/``SystemExit`` and can
+wedge a training run that the operator is trying to kill; an
+``except Exception: pass`` erases the fault the whole subsystem exists
+to report.  Broad catches that *handle* (wrap, log, record, re-raise)
+are fine — only silent swallows are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(isinstance(e, ast.Name) and e.id in _BROAD
+                   for e in node.elts)
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable."""
+    meaningful = [stmt for stmt in handler.body
+                  if not (isinstance(stmt, ast.Pass)
+                          or (isinstance(stmt, ast.Expr)
+                              and isinstance(stmt.value, ast.Constant)))]
+    return not meaningful
+
+
+class FaultHygieneRule(Rule):
+    code = "RL005"
+    name = "fault-path-hygiene"
+    rationale = ("Bare excepts catch KeyboardInterrupt/SystemExit; "
+                 "swallowed broad excepts erase the faults the "
+                 "checkpoint/serving machinery exists to classify and "
+                 "report.")
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    code=self.code, path=str(file.path), line=node.lineno,
+                    message=("bare 'except:' also catches "
+                             "KeyboardInterrupt/SystemExit; name the "
+                             "exception(s) you mean"))
+            elif _is_broad(node) and _swallows(node):
+                yield Violation(
+                    code=self.code, path=str(file.path), line=node.lineno,
+                    message=("'except Exception: pass' silently swallows "
+                             "faults; record, wrap or re-raise them (or "
+                             "suppress with a best-effort justification)"))

@@ -1,0 +1,211 @@
+"""RL004 — the op-registry kernel contract (see ``repro/ops/registry.py``).
+
+Four statically checkable clauses of the contract behind Eq. 10/11:
+
+1. every ``register(name, forward, backward)`` call provides a backward
+   kernel — a forward without one silently breaks training the first
+   time the op lands on a tape;
+2. kernel modules never import ``repro.tensor`` — the dependency points
+   strictly from the tensor layer down into ops;
+3. a backward kernel reads only ``ctx`` attributes its paired forward
+   stashed (plus the dispatcher-owned ``needs``/``workspaces``) — a read
+   of anything else is a latent ``AttributeError`` on a path the tests
+   may not cover;
+4. a backward kernel returning several non-trivial gradients consults
+   ``ctx.needs`` so dead gradients are skipped, not computed and thrown
+   away (the dispatcher sets ``needs`` for exactly this purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.lint._ast_util import call_target, iter_calls
+from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
+
+_DISPATCHER_ATTRS = {"needs", "workspaces"}
+_REGISTER_NAMES = {"register", "register_op"}
+
+
+def _ctx_param(func: ast.FunctionDef) -> Optional[str]:
+    """Name of the context parameter (first positional arg) of a kernel."""
+    if func.args.args:
+        return func.args.args[0].arg
+    return None
+
+
+def _ctx_stores(func: ast.FunctionDef) -> Set[str]:
+    ctx = _ctx_param(func)
+    stored: Set[str] = set()
+    if ctx is None:
+        return stored
+    for node in ast.walk(func):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        flattened: List[ast.AST] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flattened.extend(target.elts)
+            else:
+                flattened.append(target)
+        for target in flattened:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == ctx):
+                stored.add(target.attr)
+    return stored
+
+
+def _ctx_reads(func: ast.FunctionDef) -> Dict[str, int]:
+    """ctx attributes read (Load context) -> first line read."""
+    ctx = _ctx_param(func)
+    reads: Dict[str, int] = {}
+    if ctx is None:
+        return reads
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == ctx):
+            reads.setdefault(node.attr, node.lineno)
+    return reads
+
+
+def _is_trivial_gradient(node: ast.AST) -> bool:
+    """Gradients that cost nothing to 'compute' (a name, None, -g)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Name):
+        return True
+    return False
+
+
+class RegistryContractRule(Rule):
+    code = "RL004"
+    name = "op-registry-contract"
+    rationale = ("Forward/backward kernel pairs must stay symmetric: "
+                 "backward-less registrations, tensor-layer imports, "
+                 "reads of never-stashed ctx attributes and needs-blind "
+                 "multi-gradient backwards all break the dispatch "
+                 "contract behind Eq. 10/11.")
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
+        module = file.module or ""
+        if not (module == "repro.ops" or module.startswith("repro.ops.")):
+            return
+
+        # Clause 2: the dependency arrow never points up into the tensor layer.
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.tensor"):
+                        yield self._violation(
+                            file, node.lineno,
+                            "kernel modules must not import repro.tensor "
+                            "(the tensor layer depends on ops, never the "
+                            "reverse)")
+            elif (isinstance(node, ast.ImportFrom) and node.level == 0
+                  and (node.module or "").startswith("repro.tensor")):
+                yield self._violation(
+                    file, node.lineno,
+                    "kernel modules must not import repro.tensor (the "
+                    "tensor layer depends on ops, never the reverse)")
+
+        functions = {n.name: n for n in ast.walk(file.tree)
+                     if isinstance(n, ast.FunctionDef)}
+
+        for call in iter_calls(file.tree):
+            target = call_target(call)
+            if target is None:
+                continue
+            base = target.split(".")[-1]
+            if base not in _REGISTER_NAMES:
+                continue
+            op_name, forward, backward = self._registration(call)
+            if forward is None:
+                continue  # the registry's own def, or a dynamic call
+            if backward is None:
+                yield self._violation(
+                    file, call.lineno,
+                    f"register({op_name!r}) has no backward kernel; every "
+                    "forward must ship its gradient (or be suppressed "
+                    "with an inference-only justification)")
+                continue
+            yield from self._check_pair(file, op_name, forward, backward,
+                                        functions)
+
+    # ------------------------------------------------------------------
+    def _registration(self, call: ast.Call):
+        """Extract (op_name, forward_name, backward_name) from a register call."""
+        op_name = "?"
+        if call.args and isinstance(call.args[0], ast.Constant):
+            op_name = call.args[0].value
+        elif not call.args:
+            return "?", None, None
+
+        def arg(position: int, keyword: str) -> Optional[ast.AST]:
+            if len(call.args) > position:
+                return call.args[position]
+            for kw in call.keywords:
+                if kw.arg == keyword:
+                    return kw.value
+            return None
+
+        forward_node = arg(1, "forward")
+        backward_node = arg(2, "backward")
+        forward = forward_node.id if isinstance(forward_node, ast.Name) else None
+        if backward_node is None or (
+                isinstance(backward_node, ast.Constant)
+                and backward_node.value is None):
+            backward = None
+        elif isinstance(backward_node, ast.Name):
+            backward = backward_node.id
+        else:
+            backward = "?"  # dynamic; pairing unverifiable but present
+        return op_name, forward, backward
+
+    def _check_pair(self, file: SourceFile, op_name: str, forward: str,
+                    backward: str, functions: Dict[str, ast.FunctionDef]
+                    ) -> Iterable[Violation]:
+        fwd = functions.get(forward)
+        bwd = functions.get(backward)
+        if fwd is None or bwd is None:
+            return
+
+        # Clause 3: backward reads only what forward stashed.
+        stored = _ctx_stores(fwd) | _DISPATCHER_ATTRS
+        reads = _ctx_reads(bwd)
+        for attr, lineno in sorted(reads.items(), key=lambda kv: kv[1]):
+            if attr not in stored:
+                yield self._violation(
+                    file, lineno,
+                    f"backward of op {op_name!r} reads ctx.{attr}, which "
+                    f"its forward ({forward}) never stashes")
+
+        # Clause 4: multi-gradient backwards consult ctx.needs.
+        if "needs" in reads:
+            return
+        for node in ast.walk(bwd):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if not isinstance(node.value, ast.Tuple):
+                continue
+            computed = [e for e in node.value.elts
+                        if not _is_trivial_gradient(e)]
+            if len(node.value.elts) >= 2 and len(computed) >= 2:
+                yield self._violation(
+                    file, node.lineno,
+                    f"backward of op {op_name!r} computes "
+                    f"{len(computed)} gradients without consulting "
+                    "ctx.needs; gate each on needs[i] to skip dead work")
+                return
+
+    def _violation(self, file: SourceFile, line: int, message: str) -> Violation:
+        return Violation(code=self.code, path=str(file.path), line=line,
+                         message=message)

@@ -39,7 +39,9 @@ class AdaBoostM1(EnsembleMethod):
         rng = new_rng(rng)
         n = len(train_set)
         k = train_set.num_classes
-        state = {"weights": np.full(n, 1.0 / n)}
+        # Eq. 14-style weight replay runs at float64 regardless of the
+        # tensor dtype policy: boosting weights multiply across rounds.
+        state = {"weights": np.full(n, 1.0 / n, dtype=np.float64)}
         if fault.resume_from is not None:
             saved = fault.resume_from.arrays.get("sample_weights")
             if saved is not None:
@@ -67,7 +69,7 @@ class AdaBoostM1(EnsembleMethod):
                 # Worse than chance: the classic prescription resets the
                 # distribution; keep the model with a tiny weight so the
                 # ensemble size matches the budgeted T.
-                state["weights"] = np.full(n, 1.0 / n)
+                state["weights"] = np.full(n, 1.0 / n, dtype=np.float64)
                 alpha = 1e-3
             else:
                 weights = weights * np.exp(alpha * misclassified)

@@ -67,7 +67,8 @@ class AdaBoostNC(EnsembleMethod):
         rng = new_rng(rng)
         config: AdaBoostNCConfig = self.config
         n = len(train_set)
-        state = {"weights": np.full(n, 1.0 / n), "previous_model": None}
+        # Boosting weights stay float64 (multiplicative replay precision).
+        state = {"weights": np.full(n, 1.0 / n, dtype=np.float64), "previous_model": None}
         if fault.resume_from is not None and fault.resume_from.round:
             saved = fault.resume_from.arrays.get("sample_weights")
             if saved is not None:
@@ -128,7 +129,7 @@ class AdaBoostNC(EnsembleMethod):
         ensemble_predictions = average_probs(member_train_probs, alphas).argmax(axis=1)
         ensemble_sign = correctness_sign(ensemble_predictions, labels)
         alpha_total = float(np.sum(alphas)) + _EPS
-        amb = np.zeros(len(labels))
+        amb = np.zeros(len(labels), dtype=np.float64)
         for probs, alpha in zip(member_train_probs, alphas):
             member_sign = correctness_sign(probs.argmax(axis=1), labels)
             amb += alpha * (ensemble_sign - member_sign)

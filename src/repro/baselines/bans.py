@@ -81,7 +81,7 @@ class BANs(EnsembleMethod):
 
         def loss_fn(logits, labels, indices):
             batch = len(labels)
-            uniform = np.full(batch, 1.0 / batch)
+            uniform = np.full(batch, 1.0 / batch, dtype=np.float64)
             return distillation_loss(
                 logits, labels, teacher_probs[indices],
                 alpha=config.distill_alpha,

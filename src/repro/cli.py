@@ -12,6 +12,10 @@ Commands
     Stand an :class:`~repro.serving.InferenceService` up on a saved
     ensemble and drive a request stream at it, optionally under injected
     faults (corrupt archives, flaky/slow members, poisoned requests).
+``lint``
+    Run the repo's AST-based invariant checker (rules RL001–RL005:
+    import layering, determinism, dtype policy, op-registry contract,
+    fault-path hygiene) over source trees; exits non-zero on violations.
 ``info``
     List available scenarios, methods and models.
 
@@ -28,6 +32,7 @@ Examples
     python -m repro.cli beta --scenario c100-resnet
     python -m repro.cli serve-eval --scenario c100-resnet --ensemble e.npz \\
         --requests 32 --inject corrupt:0,flaky:1:every=2 --deadline 0.5
+    python -m repro.cli lint src benchmarks --stats results/lint_stats.json
     python -m repro.cli info
 """
 
@@ -227,6 +232,29 @@ def _render_health(health) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.lint import default_rules, run_lint
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        return 0
+    report = run_lint(args.paths, rules)
+    if args.stats:
+        payload = json.dumps(report.stats(), indent=2, sort_keys=True)
+        if args.stats == "-":
+            print(payload)
+        else:
+            stats_path = pathlib.Path(args.stats)
+            stats_path.parent.mkdir(parents=True, exist_ok=True)
+            stats_path.write_text(payload + "\n")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_compare(args) -> int:
     scenario = build_scenario(args.scenario, rng=args.seed)
     methods = tuple(args.methods.split(","))
@@ -326,6 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poison every Nth request with NaNs to "
                             "exercise input validation")
     serve.set_defaults(func=_cmd_serve_eval)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the AST-based invariant checker (RL001–RL005) over "
+             "source trees; exits 1 on violations")
+    lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
+                      help="files or directories to lint "
+                           "(default: src benchmarks)")
+    lint.add_argument("--stats", default=None, metavar="PATH",
+                      help="write a JSON summary (rules run, files "
+                           "scanned, violations by code) to PATH, or '-' "
+                           "for stdout")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     beta = commands.add_parser("beta", help="adaptive beta selection")
     _add_scenario_arg(beta)

@@ -2,6 +2,7 @@
 adaptive knowledge transfer, the boosting framework, and the EDDE trainer."""
 
 from repro.core.config import EDDEConfig
+from repro.core.errors import InvalidRequest
 from repro.core.diversity import (
     ensemble_diversity,
     hard_ambiguity,
@@ -60,6 +61,7 @@ __all__ = [
     "EDDEConfig",
     "EDDETrainer",
     "Ensemble",
+    "InvalidRequest",
     "EnsembleEngine",
     "PredictionCache",
     "RoundOutcome",

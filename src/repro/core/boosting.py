@@ -118,7 +118,7 @@ def initial_model_weight(correct: np.ndarray, weights: np.ndarray,
     training accuracy is below the paper's near-100% regime.
     """
     correct = np.asarray(correct, dtype=bool)
-    ones = np.ones(len(correct))
+    ones = np.ones(len(correct), dtype=np.float64)
     boosted = update_sample_weights(np.asarray(weights, dtype=np.float64),
                                     ones, np.asarray(bias), ~correct)
     return model_weight(ones, boosted, correct)

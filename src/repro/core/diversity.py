@@ -73,7 +73,7 @@ def similarity_matrix(member_probs: Sequence[np.ndarray]) -> np.ndarray:
     Diagonal entries are exactly 1 (a model is identical to itself).
     """
     count = len(member_probs)
-    matrix = np.ones((count, count))
+    matrix = np.ones((count, count), dtype=np.float64)
     for j in range(count):
         for k in range(j + 1, count):
             sim = pairwise_similarity(member_probs[j], member_probs[k])

@@ -108,7 +108,7 @@ class EDDETrainer:
         rng = new_rng(rng)
         config = self.config
         n = len(train_set)
-        initial_weights = np.full(n, 1.0 / n)        # W₁ (line 2)
+        initial_weights = np.full(n, 1.0 / n, dtype=np.float64)   # W₁ (line 2)
         state = {"weights": initial_weights.copy(), "beta": None,
                  "previous_model": None}
         engine = EnsembleEngine("EDDE", train_set, test_set,

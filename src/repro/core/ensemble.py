@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.errors import InvalidRequest
 from repro.nn import accuracy, predict_probs
 from repro.nn.module import Module
 
@@ -50,7 +51,7 @@ class Ensemble:
         """Eq. 16 (normalised): α-weighted average of member softmax rows.
 
         Rejects non-finite inputs with
-        :class:`~repro.serving.errors.InvalidRequest`: softmax maps a NaN
+        :class:`~repro.core.errors.InvalidRequest`: softmax maps a NaN
         row to a NaN (or, after the exp, a confidently wrong) distribution
         *silently*, so a poisoned batch must die here rather than surface
         as a garbage prediction downstream.
@@ -59,11 +60,6 @@ class Ensemble:
             raise RuntimeError("ensemble is empty")
         x = np.asarray(x)
         if np.issubdtype(x.dtype, np.floating) and not np.isfinite(x).all():
-            # Function-level import: the taxonomy module is stdlib-only,
-            # but importing it at module scope would pull the serving
-            # package (which imports repro.core) into every core import.
-            from repro.serving.errors import InvalidRequest
-
             bad = int((~np.isfinite(x)).sum())
             raise InvalidRequest(
                 f"input contains {bad} non-finite (NaN/Inf) value(s)",

@@ -1,0 +1,32 @@
+"""Request-validation errors raised below the serving layer.
+
+:class:`InvalidRequest` is the caller-fault half of the serving error
+taxonomy (see :mod:`repro.serving.errors`), but it is *raised* as low as
+:meth:`repro.core.ensemble.Ensemble.predict_probs` — a poisoned batch
+must die at the first layer that can see it.  The class therefore lives
+here, at the bottom of the dependency arrow, and the serving package
+re-exports it; core importing from serving would invert the layering
+(lint rule RL001).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class InvalidRequest(ValueError):
+    """The request payload is malformed — rejected before any model runs.
+
+    Retrying the same request can never succeed.  ``field`` names the
+    offending part (``"shape"``, ``"dtype"``, ``"values"``,
+    ``"deadline"``, ...) so callers can report structured errors without
+    parsing the message; ``code`` is the machine-readable tag a fronting
+    HTTP layer maps to a status code.
+    """
+
+    code = "invalid-request"
+
+    def __init__(self, reason: str, field: Optional[str] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.field = field

@@ -108,7 +108,8 @@ def diversity_loss_grad_reference(
     labels = np.asarray(labels, dtype=np.int64)
     ensemble_probs = np.asarray(ensemble_probs, dtype=np.float64)
     batch, k = probs.shape
-    weights = np.ones(batch) if sample_weights is None else np.asarray(sample_weights)
+    weights = (np.ones(batch, dtype=np.float64) if sample_weights is None
+               else np.asarray(sample_weights))
 
     one_hot = np.zeros_like(probs)
     one_hot[np.arange(batch), labels] = 1.0

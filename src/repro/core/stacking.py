@@ -32,7 +32,9 @@ class SoftmaxRegression:
     def __init__(self, input_dim: int, num_classes: int, rng: RngLike = None):
         rng = new_rng(rng)
         self.weights = rng.normal(0.0, 0.01, size=(input_dim, num_classes))
-        self.bias = np.zeros(num_classes)
+        # The meta-learner is pure-numpy analytics: float64 like its
+        # rng.normal-drawn weights, independent of the tensor policy.
+        self.bias = np.zeros(num_classes, dtype=np.float64)
 
     def _logits(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weights + self.bias
@@ -47,7 +49,7 @@ class SoftmaxRegression:
             lr: float = 0.5, weight_decay: float = 1e-4) -> None:
         y = np.asarray(y, dtype=np.int64)
         n = len(y)
-        one_hot = np.zeros((n, self.weights.shape[1]))
+        one_hot = np.zeros((n, self.weights.shape[1]), dtype=np.float64)
         one_hot[np.arange(n), y] = 1.0
         for _ in range(epochs):
             probs = self.predict_probs(x)

@@ -63,7 +63,7 @@ class Dataset:
 
     def one_hot(self) -> np.ndarray:
         """One-hot encoding of the labels (the paper's bold ``y_i``)."""
-        encoded = np.zeros((len(self), self.num_classes))
+        encoded = np.zeros((len(self), self.num_classes), dtype=np.float64)
         encoded[np.arange(len(self)), self.y] = 1.0
         return encoded
 

@@ -57,7 +57,7 @@ class ImageConfig:
 def _make_prototype(size: int, channels: int, rng: np.random.Generator) -> np.ndarray:
     """Build one textured prototype: grating + colour blobs + gradient."""
     yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
-    proto = np.zeros((channels, size, size))
+    proto = np.zeros((channels, size, size), dtype=np.float64)
 
     # Oriented sinusoidal grating with random frequency/phase per channel mix.
     theta = rng.uniform(0, np.pi)
@@ -102,7 +102,10 @@ def _sample_images(prototypes: np.ndarray, labels: np.ndarray,
     """Render one image per label by perturbing a class prototype."""
     count = len(labels)
     num_protos = config.prototypes_per_class
-    images = np.empty((count, config.channels, config.image_size, config.image_size))
+    # Generation runs at Generator-native float64 (see make_image_dataset:
+    # features are cast to the default dtype only on delivery).
+    images = np.empty((count, config.channels, config.image_size, config.image_size),
+                      dtype=np.float64)
     proto_choice = rng.integers(0, num_protos, size=count)
     for i, label in enumerate(labels):
         image = prototypes[label, proto_choice[i]].copy()

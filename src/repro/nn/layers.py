@@ -28,8 +28,8 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self._has_bias = bias
-        self.weight = Parameter(np.zeros((out_features, in_features)))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(init.zeros((out_features, in_features)))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
         self.reinitialize(new_rng(rng))
 
     def reinitialize(self, rng: np.random.Generator) -> None:
@@ -57,8 +57,8 @@ class Conv2d(Module):
         self.stride = stride
         self.padding = padding
         shape = (out_channels, in_channels, kernel_size, kernel_size)
-        self.weight = Parameter(np.zeros(shape))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.weight = Parameter(init.zeros(shape))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
         self.reinitialize(new_rng(rng))
 
     def reinitialize(self, rng: np.random.Generator) -> None:
@@ -83,8 +83,8 @@ class Conv1d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        self.weight = Parameter(np.zeros((out_channels, in_channels, kernel_size)))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.weight = Parameter(init.zeros((out_channels, in_channels, kernel_size)))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
         self.reinitialize(new_rng(rng))
 
     def reinitialize(self, rng: np.random.Generator) -> None:
@@ -104,7 +104,7 @@ class Embedding(Module):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        self.weight = Parameter(np.zeros((num_embeddings, embedding_dim)))
+        self.weight = Parameter(init.zeros((num_embeddings, embedding_dim)))
         self.reinitialize(new_rng(rng))
 
     def reinitialize(self, rng: np.random.Generator) -> None:

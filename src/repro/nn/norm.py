@@ -20,8 +20,8 @@ class _BatchNorm(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features))
-        self.beta = Parameter(np.zeros(num_features))
+        self.gamma = Parameter(np.ones(num_features, dtype=default_dtype()))
+        self.beta = Parameter(np.zeros(num_features, dtype=default_dtype()))
         object.__setattr__(self, "_buffers", {
             "running_mean": np.zeros(num_features, dtype=default_dtype()),
             "running_var": np.ones(num_features, dtype=default_dtype()),

@@ -80,10 +80,13 @@ def _matmul_backward(ctx, g):
             np.swapaxes(ctx.x, -1, -2) @ g if needs[1] else None)
 
 
-register("add", _add_forward, _add_backward)
-register("neg", _neg_forward, _neg_backward)
-register("sub", _sub_forward, _sub_backward)
-register("mul", _mul_forward, _mul_backward)
-register("div", _div_forward, _div_backward)
-register("pow", _pow_forward, _pow_backward)
+# The "elementwise" tag declares the output shape to be the broadcast of
+# the input shapes — the runtime sanitizer (repro.tensor.sanitize)
+# verifies exactly that for tagged ops.
+register("add", _add_forward, _add_backward, tags=("elementwise",))
+register("neg", _neg_forward, _neg_backward, tags=("elementwise",))
+register("sub", _sub_forward, _sub_backward, tags=("elementwise",))
+register("mul", _mul_forward, _mul_backward, tags=("elementwise",))
+register("div", _div_forward, _div_backward, tags=("elementwise",))
+register("pow", _pow_forward, _pow_backward, tags=("elementwise",))
 register("matmul", _matmul_forward, _matmul_backward)

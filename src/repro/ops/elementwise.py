@@ -89,11 +89,15 @@ def _where_backward(ctx, g):
             np.where(condition, 0.0, g) if needs[1] else None)
 
 
-register("exp", _exp_forward, _exp_backward)
-register("log", _log_forward, _log_backward)
-register("tanh", _tanh_forward, _tanh_backward)
-register("sigmoid", _sigmoid_forward, _sigmoid_backward)
-register("relu", _relu_forward, _relu_backward)
-register("clip", _clip_forward, _clip_backward)
-register("dropout", _dropout_forward, _dropout_backward)
+# "elementwise" tells the runtime sanitizer the output shape must equal
+# the broadcast of the input shapes.  `where` is untagged: its condition
+# arrives as a non-array param, so the broadcast is not derivable from
+# the array inputs alone.
+register("exp", _exp_forward, _exp_backward, tags=("elementwise",))
+register("log", _log_forward, _log_backward, tags=("elementwise",))
+register("tanh", _tanh_forward, _tanh_backward, tags=("elementwise",))
+register("sigmoid", _sigmoid_forward, _sigmoid_backward, tags=("elementwise",))
+register("relu", _relu_forward, _relu_backward, tags=("elementwise",))
+register("clip", _clip_forward, _clip_backward, tags=("elementwise",))
+register("dropout", _dropout_forward, _dropout_backward, tags=("elementwise",))
 register("where", _where_forward, _where_backward)

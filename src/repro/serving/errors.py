@@ -15,37 +15,24 @@ a retrying client) needs to pick a status code and a retry policy:
   (below quorum at startup, every member quarantined, nothing finished
   before the deadline).  Retrying *later* may succeed.
 
-The module is intentionally import-light (stdlib only): lower layers such
-as :meth:`repro.core.ensemble.Ensemble.predict_probs` raise
-:class:`InvalidRequest` via a function-level import without dragging the
-whole serving stack in.
+:class:`InvalidRequest` is defined in :mod:`repro.core.errors` — it is
+raised as low as :meth:`repro.core.ensemble.Ensemble.predict_probs`, and
+core importing from serving would invert the layering (RL001) — and
+re-exported here so serving callers keep one import site for the whole
+taxonomy.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.errors import InvalidRequest
+
 
 class ServingError(Exception):
     """Base of the serving taxonomy; carries a machine-readable code."""
 
     code = "serving-error"
-
-
-class InvalidRequest(ServingError):
-    """The request is malformed — rejected before any member runs.
-
-    ``field`` names the offending part of the request (``"shape"``,
-    ``"dtype"``, ``"values"``, ``"deadline"``, ...) so callers can report
-    structured errors without parsing the message.
-    """
-
-    code = "invalid-request"
-
-    def __init__(self, reason: str, field: Optional[str] = None):
-        super().__init__(reason)
-        self.reason = reason
-        self.field = field
 
 
 class MemberFault(ServingError):

@@ -23,13 +23,21 @@ from repro.tensor.tensor import (
     is_grad_enabled,
     no_grad,
 )
-from repro.tensor.dtypes import default_dtype, dtype_scope, set_default_dtype
+from repro.tensor.dtypes import (
+    check_valid_dtype,
+    default_dtype,
+    dtype_scope,
+    set_default_dtype,
+)
 from repro.tensor.grad_check import gradcheck, numeric_gradient
+from repro.tensor.sanitize import SanitizerError, sanitize_enabled, sanitize_mode
 
 __all__ = [
     "ArrayView",
+    "SanitizerError",
     "Tensor",
     "apply",
+    "check_valid_dtype",
     "default_dtype",
     "dtype_scope",
     "gradcheck",
@@ -37,5 +45,7 @@ __all__ = [
     "is_grad_enabled",
     "no_grad",
     "numeric_gradient",
+    "sanitize_enabled",
+    "sanitize_mode",
     "set_default_dtype",
 ]

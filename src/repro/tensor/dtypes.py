@@ -25,6 +25,27 @@ _DEFAULT: np.dtype = np.dtype(os.environ.get("REPRO_DTYPE", "float32"))
 if _DEFAULT.kind != "f":
     raise ValueError(f"REPRO_DTYPE must name a float dtype, got {_DEFAULT}")
 
+# Real numeric kinds a Tensor may hold: float, int, unsigned int, bool.
+# Everything else (object, str, bytes, void, complex, datetime) fails a
+# kernel eventually — reject it at construction with a clear message.
+_VALID_KINDS = frozenset("fiub")
+
+
+def check_valid_dtype(dtype, context: str = "Tensor data") -> np.dtype:
+    """Validate that ``dtype`` is real-numeric under the library policy.
+
+    Mirrors MyGrad's ``_check_valid_dtype``: a clear ``TypeError`` at the
+    boundary beats a cast error ten kernels deep.  Returns the resolved
+    ``np.dtype`` so callers can chain on it.
+    """
+    resolved = np.dtype(dtype)
+    if resolved.kind not in _VALID_KINDS:
+        raise TypeError(
+            f"{context} must be real-numeric (float/int/uint/bool); got "
+            f"dtype {resolved!r}. Object, string and complex arrays are "
+            "not valid Tensor payloads — convert to a numeric array first.")
+    return resolved
+
 
 def default_dtype() -> np.dtype:
     """The dtype used when the library materialises new float arrays."""

@@ -36,7 +36,8 @@ from repro.ops import fastpath as _fastpath_mod
 from repro.ops import profiler as _profiler
 from repro.ops import workspace as _workspace
 from repro.ops.registry import OpContext, get_op
-from repro.tensor.dtypes import default_dtype
+from repro.tensor import sanitize as _sanitize
+from repro.tensor.dtypes import check_valid_dtype, default_dtype
 
 # Importing the package registers every kernel module.
 import repro.ops  # noqa: F401  (registration side effect)
@@ -76,11 +77,21 @@ def inference_mode():
 
 def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
     if dtype is not None:
+        check_valid_dtype(dtype)
         return np.asarray(data, dtype=dtype)
     existing = getattr(data, "dtype", None)
-    if existing is not None and existing.kind == "f":
-        return np.asarray(data)
-    return np.asarray(data, dtype=default_dtype())
+    if existing is not None:
+        check_valid_dtype(existing)
+        if existing.kind == "f":
+            return np.asarray(data)
+        return np.asarray(data, dtype=default_dtype())
+    # Python data (lists, scalars): materialise once so non-numeric
+    # payloads (strings, objects, ragged lists) fail here with a clear
+    # error instead of deep in a kernel with a numpy cast message, then
+    # deliver in the default float dtype.
+    materialised = np.asarray(data)
+    check_valid_dtype(materialised.dtype)
+    return materialised.astype(default_dtype(), copy=False)
 
 
 def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -120,6 +131,9 @@ def apply(name: str, inputs: Tuple["Tensor", ...], **params) -> "Tensor":
         prof.record_forward(name, perf_counter() - started,
                             getattr(data, "nbytes", 0))
 
+    if _sanitize.sanitize_enabled():
+        _sanitize.check_forward(op, arrays, params, data)
+
     if is_grad_enabled() and any(ctx.needs):
         out = Tensor(data, requires_grad=True)
         out._parents = inputs
@@ -147,17 +161,23 @@ class Tensor:
     data:
         Array-like payload.  Float arrays keep their dtype; other inputs
         are converted to the default float dtype (see
-        :mod:`repro.tensor.dtypes`).
+        :mod:`repro.tensor.dtypes`).  Non-numeric payloads (object,
+        string, complex arrays) are rejected with a ``TypeError`` here
+        rather than failing later inside a kernel.
     requires_grad:
         Whether gradients should flow into this tensor.  Leaf tensors with
         ``requires_grad=True`` act as trainable parameters.
+    dtype:
+        Optional explicit dtype; must be real-numeric under the policy in
+        :mod:`repro.tensor.dtypes`.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_ctx",
                  "_opref", "_op", "__weakref__")
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False):
-        self.data = _as_array(data)
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = ()
@@ -269,6 +289,7 @@ class Tensor:
 
         self._accumulate(grad)
         prof = _profiler._current
+        sanitizing = _sanitize.sanitize_enabled()
         for node in reversed(order):
             ctx = node._ctx
             if ctx is None:
@@ -281,6 +302,8 @@ class Tensor:
                     started = perf_counter()
                     grads = op.backward(ctx, node.grad)
                     prof.record_backward(op.name, perf_counter() - started)
+                if sanitizing:
+                    _sanitize.check_backward(op, grads, node._parents)
                 for parent, parent_grad in zip(node._parents, grads):
                     if parent_grad is not None and parent.requires_grad:
                         parent._accumulate(parent_grad)

@@ -1,0 +1,51 @@
+"""Fixture helpers for the lint-rule tests.
+
+Rules are exercised end to end through the real collection path: each
+fixture writes a miniature ``src/repro/...`` tree to ``tmp_path`` so
+module inference, package mapping and suppression parsing all run exactly
+as they do on the real repository.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write fixture modules and lint them with the given rules.
+
+    Usage::
+
+        report = lint_tree({"nn/bad.py": "from repro.core import trainer"},
+                           rules=[LayeringRule()])
+
+    Keys are paths relative to ``src/repro/``; values are module source
+    (dedented).  Keys starting with ``//`` are written relative to the
+    tree root instead (for non-repro files).
+    """
+
+    def build(modules, rules):
+        root = tmp_path / "src" / "repro"
+        for rel, source in modules.items():
+            if rel.startswith("//"):
+                target = tmp_path / rel[2:]
+            else:
+                target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return run_lint([str(tmp_path)], rules)
+
+    return build
+
+
+def codes(report):
+    return [v.code for v in report.violations]
+
+
+def messages(report):
+    return [v.message for v in report.violations]

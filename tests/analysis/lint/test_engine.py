@@ -1,0 +1,138 @@
+"""Engine-level behaviour: suppressions, stats, collection, the CLI."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.lint import DtypePolicyRule, default_rules, run_lint
+from repro.analysis.lint.engine import module_name_for
+from repro.cli import main
+
+from tests.analysis.lint.conftest import codes
+
+
+class TestModuleInference:
+    def test_src_repro_anchor(self):
+        path = pathlib.Path("src/repro/nn/layers.py")
+        assert module_name_for(path) == "repro.nn.layers"
+
+    def test_init_maps_to_package(self):
+        path = pathlib.Path("src/repro/ops/__init__.py")
+        assert module_name_for(path) == "repro.ops"
+
+    def test_non_repro_file_has_no_module(self):
+        assert module_name_for(pathlib.Path("benchmarks/bench_ops.py")) is None
+
+
+class TestSuppressions:
+    BAD = "import numpy as np\nx = np.zeros(3)\n"
+
+    def test_violation_fires_without_suppression(self, lint_tree):
+        report = lint_tree({"core/mod.py": self.BAD}, [DtypePolicyRule()])
+        assert codes(report) == ["RL003"]
+        assert not report.ok
+
+    def test_same_line_disable(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "x = np.zeros(3)  # repro-lint: disable=RL003 (fixture)\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok
+        assert [v.code for v in report.suppressed] == ["RL003"]
+
+    def test_standalone_comment_covers_next_line(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "# repro-lint: disable=RL003 (fixture)\n"
+                  "x = np.zeros(3)\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok and len(report.suppressed) == 1
+
+    def test_file_wide_disable(self, lint_tree):
+        source = ("# repro-lint: disable-file=RL003\n"
+                  "import numpy as np\n"
+                  "x = np.zeros(3)\n"
+                  "y = np.ones(4)\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok and len(report.suppressed) == 2
+
+    def test_suppression_is_code_specific(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "x = np.zeros(3)  # repro-lint: disable=RL001\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert codes(report) == ["RL003"]
+
+    def test_comma_separated_codes(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "x = np.zeros(3)  # repro-lint: disable=RL001,RL003\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok and len(report.suppressed) == 1
+
+
+class TestReport:
+    def test_stats_payload(self, lint_tree):
+        report = lint_tree({"core/mod.py": TestSuppressions.BAD},
+                           default_rules())
+        stats = report.stats()
+        assert stats["rules_run"] == ["RL001", "RL002", "RL003",
+                                      "RL004", "RL005"]
+        assert stats["files_scanned"] == 1
+        assert stats["violations_total"] == 1
+        assert stats["violations_by_code"] == {"RL003": 1}
+        assert stats["suppressed_total"] == 0
+        assert stats["parse_errors"] == 0
+
+    def test_render_lists_violations_sorted(self, lint_tree):
+        report = lint_tree({"core/mod.py": ("import numpy as np\n"
+                                            "b = np.ones(2)\n"
+                                            "a = np.zeros(3)\n")},
+                           [DtypePolicyRule()])
+        rendered = report.render().splitlines()
+        assert "RL003" in rendered[0] and ":2:" in rendered[0]
+        assert "RL003" in rendered[1] and ":3:" in rendered[1]
+        assert rendered[-1].startswith("2 violation(s)")
+
+    def test_render_clean(self, lint_tree):
+        report = lint_tree({"core/mod.py": "x = 1\n"}, default_rules())
+        assert report.render().startswith("clean: 0 violation(s)")
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        report = run_lint([str(tmp_path)], default_rules())
+        assert not report.ok
+        assert len(report.errors) == 1 and "cannot lint" in report.errors[0]
+        assert report.stats()["parse_errors"] == 1
+
+
+class TestCli:
+    def _write_bad(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "mod.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+        return tmp_path
+
+    def test_exit_nonzero_on_violations(self, tmp_path, capsys):
+        root = self._write_bad(tmp_path)
+        assert main(["lint", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out and "1 violation(s)" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_stats_json_written(self, tmp_path, capsys):
+        root = self._write_bad(tmp_path)
+        stats_path = tmp_path / "out" / "lint_stats.json"
+        assert main(["lint", str(root), "--stats", str(stats_path)]) == 1
+        capsys.readouterr()
+        payload = json.loads(stats_path.read_text())
+        assert payload["violations_by_code"] == {"RL003": 1}
+        assert payload["files_scanned"] == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in out

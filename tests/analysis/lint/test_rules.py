@@ -1,0 +1,271 @@
+"""Fixture-based tests for RL001-RL005: fire on known-bad, stay silent
+on known-good, through the real collection/suppression pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lint import (
+    DeterminismRule,
+    DtypePolicyRule,
+    FaultHygieneRule,
+    LAYER_GRAPH,
+    LayeringRule,
+    RegistryContractRule,
+    transitive_closure,
+)
+
+from tests.analysis.lint.conftest import codes, messages
+
+
+class TestLayering:
+    def test_upward_import_fires(self, lint_tree):
+        report = lint_tree(
+            {"nn/bad.py": "from repro.core import trainer\n"},
+            [LayeringRule()])
+        assert codes(report) == ["RL001"]
+        assert "layer 'nn' may not import" in messages(report)[0]
+
+    def test_downward_imports_are_silent(self, lint_tree):
+        report = lint_tree(
+            {"core/good.py": ("from repro.nn import layers\n"
+                              "import repro.ops\n"
+                              "from repro.utils.rng import new_rng\n")},
+            [LayeringRule()])
+        assert report.ok
+
+    def test_lazy_upward_import_still_fires(self, lint_tree):
+        source = ("def handler():\n"
+                  "    from repro.serving import errors\n"
+                  "    return errors\n")
+        report = lint_tree({"core/lazy.py": source}, [LayeringRule()])
+        assert codes(report) == ["RL001"]
+
+    def test_module_level_cycle_fires_once(self, lint_tree):
+        report = lint_tree(
+            {"nn/a.py": "from repro.nn.b import thing\n",
+             "nn/b.py": "from repro.nn.a import other\n"},
+            [LayeringRule()])
+        assert codes(report) == ["RL001"]
+        assert "import cycle" in messages(report)[0]
+        assert "repro.nn.a" in messages(report)[0]
+
+    def test_lazy_cycle_is_allowed(self, lint_tree):
+        # Function-level imports resolve at call time, after both modules
+        # exist; only module-level cycles crash import.
+        report = lint_tree(
+            {"nn/a.py": ("def f():\n"
+                         "    from repro.nn.b import thing\n"
+                         "    return thing\n"),
+             "nn/b.py": ("def g():\n"
+                         "    from repro.nn.a import f\n"
+                         "    return f\n")},
+            [LayeringRule()])
+        assert report.ok
+
+    def test_declared_graph_is_acyclic(self):
+        closure = transitive_closure(LAYER_GRAPH)
+        for pkg, deps in closure.items():
+            assert pkg not in deps
+
+    def test_cyclic_declaration_rejected(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            transitive_closure({"a": {"b"}, "b": {"a"}})
+
+
+class TestDeterminism:
+    BAD = ("import time\n"
+           "import random\n"
+           "import numpy as np\n"
+           "def f():\n"
+           "    x = np.random.rand(3)\n"
+           "    t = time.time()\n"
+           "    r = random.random()\n"
+           "    return x, t, r\n")
+
+    def test_global_rng_and_clock_fire_in_core(self, lint_tree):
+        report = lint_tree({"core/bad.py": self.BAD}, [DeterminismRule()])
+        # import random, np.random.rand, time.time, random.random
+        assert codes(report) == ["RL002"] * 4
+
+    def test_generator_plumbing_is_silent(self, lint_tree):
+        source = ("import time\n"
+                  "import numpy as np\n"
+                  "def f(rng: np.random.Generator):\n"
+                  "    child = np.random.default_rng(rng.integers(0, 2**31))\n"
+                  "    started = time.perf_counter()\n"
+                  "    return child.normal(size=3), time.perf_counter() - started\n")
+        report = lint_tree({"core/good.py": source}, [DeterminismRule()])
+        assert report.ok
+
+    def test_wall_clock_allowed_outside_deterministic_layers(self, lint_tree):
+        source = ("import time\n"
+                  "def deadline():\n"
+                  "    return time.time() + 1.0\n")
+        report = lint_tree({"serving/clock.py": source}, [DeterminismRule()])
+        assert report.ok
+
+    def test_stdlib_random_banned_everywhere(self, lint_tree):
+        report = lint_tree({"serving/jitter.py": "import random\n"},
+                           [DeterminismRule()])
+        assert codes(report) == ["RL002"]
+
+
+class TestDtypePolicy:
+    @pytest.mark.parametrize("line", [
+        "x = np.zeros(3)",
+        "x = np.ones((2, 2))",
+        "x = np.empty(4)",
+        "x = np.linspace(0, 1, 5)",
+        "x = np.full(3, 0.5)",
+        "x = np.arange(0.0, 1.0, 0.1)",
+        "x = np.array([1.5, 2.5])",
+    ])
+    def test_dtypeless_float_constructors_fire(self, lint_tree, line):
+        report = lint_tree(
+            {"core/mod.py": f"import numpy as np\n{line}\n"},
+            [DtypePolicyRule()])
+        assert codes(report) == ["RL003"]
+
+    @pytest.mark.parametrize("line", [
+        "x = np.zeros(3, dtype=np.float64)",
+        "x = np.full(3, 0)",            # integer fill -> int array
+        "x = np.arange(10)",            # int arange cannot drift
+        "x = np.array(existing)",       # preserves dtype by design
+        "x = np.array([1, 2, 3])",      # int literals -> int array
+        "x = np.zeros_like(existing)",  # *_like preserves dtype
+    ])
+    def test_non_drifting_constructors_are_silent(self, lint_tree, line):
+        report = lint_tree(
+            {"core/mod.py": f"import numpy as np\nexisting = None\n{line}\n"},
+            [DtypePolicyRule()])
+        assert report.ok
+
+    def test_rule_scopes_to_repro_modules(self, lint_tree):
+        # Scripts outside src/repro (one-off tooling) are not library code.
+        report = lint_tree(
+            {"//scripts/tool.py": "import numpy as np\nx = np.zeros(3)\n"},
+            [DtypePolicyRule()])
+        assert report.ok
+
+
+class TestRegistryContract:
+    def test_backwardless_registration_fires(self, lint_tree):
+        source = ("from repro.ops.registry import register\n"
+                  "def fwd(ctx, x):\n"
+                  "    return x\n"
+                  "register('noop', fwd)\n")
+        report = lint_tree({"ops/stub.py": source}, [RegistryContractRule()])
+        assert codes(report) == ["RL004"]
+        assert "no backward kernel" in messages(report)[0]
+
+    def test_complete_pair_is_silent(self, lint_tree):
+        source = ("from repro.ops.registry import register\n"
+                  "def fwd(ctx, x):\n"
+                  "    ctx.saved = x\n"
+                  "    return x * 2.0\n"
+                  "def bwd(ctx, grad):\n"
+                  "    return (grad * 2.0 + 0.0 * ctx.saved,)\n"
+                  "register('double', fwd, bwd)\n")
+        report = lint_tree({"ops/stub.py": source}, [RegistryContractRule()])
+        assert report.ok
+
+    def test_tensor_import_fires(self, lint_tree):
+        report = lint_tree(
+            {"ops/leaky.py": "from repro.tensor import Tensor\n"},
+            [RegistryContractRule()])
+        assert codes(report) == ["RL004"]
+        assert "must not import repro.tensor" in messages(report)[0]
+
+    def test_tensor_import_outside_ops_is_not_this_rules_business(
+            self, lint_tree):
+        report = lint_tree(
+            {"nn/fine.py": "from repro.tensor import Tensor\n"},
+            [RegistryContractRule()])
+        assert report.ok
+
+    def test_read_of_unstashed_ctx_attr_fires(self, lint_tree):
+        source = ("from repro.ops.registry import register\n"
+                  "def fwd(ctx, x):\n"
+                  "    ctx.saved = x\n"
+                  "    return x\n"
+                  "def bwd(ctx, grad):\n"
+                  "    return (grad * ctx.mask,)\n"
+                  "register('leak', fwd, bwd)\n")
+        report = lint_tree({"ops/stub.py": source}, [RegistryContractRule()])
+        assert codes(report) == ["RL004"]
+        assert "reads ctx.mask" in messages(report)[0]
+        assert "never stashes" in messages(report)[0]
+
+    def test_needs_blind_multigrad_fires(self, lint_tree):
+        source = ("from repro.ops.registry import register\n"
+                  "def fwd(ctx, a, b):\n"
+                  "    ctx.a = a\n"
+                  "    ctx.b = b\n"
+                  "    return a * b\n"
+                  "def bwd(ctx, grad):\n"
+                  "    return (grad * ctx.b, grad * ctx.a)\n"
+                  "register('mul2', fwd, bwd)\n")
+        report = lint_tree({"ops/stub.py": source}, [RegistryContractRule()])
+        assert codes(report) == ["RL004"]
+        assert "ctx.needs" in messages(report)[0]
+
+    def test_needs_gated_multigrad_is_silent(self, lint_tree):
+        source = ("from repro.ops.registry import register\n"
+                  "def fwd(ctx, a, b):\n"
+                  "    ctx.a = a\n"
+                  "    ctx.b = b\n"
+                  "    return a * b\n"
+                  "def bwd(ctx, grad):\n"
+                  "    ga = grad * ctx.b if ctx.needs[0] else None\n"
+                  "    gb = grad * ctx.a if ctx.needs[1] else None\n"
+                  "    return (ga, gb)\n"
+                  "register('mul2', fwd, bwd)\n")
+        report = lint_tree({"ops/stub.py": source}, [RegistryContractRule()])
+        assert report.ok
+
+
+class TestFaultHygiene:
+    def test_bare_except_fires(self, lint_tree):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except:\n"
+                  "    cleanup()\n")
+        report = lint_tree({"serving/mod.py": source}, [FaultHygieneRule()])
+        assert codes(report) == ["RL005"]
+        assert "bare 'except:'" in messages(report)[0]
+
+    def test_swallowed_broad_except_fires(self, lint_tree):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except Exception:\n"
+                  "    pass\n")
+        report = lint_tree({"core/mod.py": source}, [FaultHygieneRule()])
+        assert codes(report) == ["RL005"]
+        assert "swallows" in messages(report)[0]
+
+    def test_docstring_only_body_still_swallows(self, lint_tree):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except Exception:\n"
+                  "    'best effort'\n")
+        report = lint_tree({"core/mod.py": source}, [FaultHygieneRule()])
+        assert codes(report) == ["RL005"]
+
+    def test_handled_broad_except_is_silent(self, lint_tree):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except Exception as error:\n"
+                  "    faults.append(error)\n")
+        report = lint_tree({"core/mod.py": source}, [FaultHygieneRule()])
+        assert report.ok
+
+    def test_narrow_pass_is_silent(self, lint_tree):
+        # Swallowing a *named* exception is an explicit decision; only
+        # broad catches must show their work.
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except ValueError:\n"
+                  "    pass\n")
+        report = lint_tree({"core/mod.py": source}, [FaultHygieneRule()])
+        assert report.ok

@@ -1,0 +1,62 @@
+"""Tensor construction rejects non-numeric payloads with a clear error.
+
+Mirrors MyGrad's ``_check_valid_dtype``: an object/str/complex array
+fails *at the Tensor boundary* with a message naming the offending
+dtype, instead of ten kernels later with a numpy cast error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_valid_dtype, default_dtype
+
+
+class TestInvalidPayloads:
+    @pytest.mark.parametrize("payload", [
+        np.array(["a", "b"]),
+        np.array([object(), object()], dtype=object),
+        np.array([1 + 2j, 3 - 1j]),
+        ["x", "y"],
+        [{"nested": 1}],
+    ])
+    def test_rejected_with_clear_message(self, payload):
+        with pytest.raises(TypeError, match="real-numeric"):
+            Tensor(payload)
+
+    def test_explicit_invalid_dtype_rejected(self):
+        with pytest.raises(TypeError, match="real-numeric"):
+            Tensor([1.0, 2.0], dtype=object)
+
+    def test_message_names_the_dtype(self):
+        with pytest.raises(TypeError, match="complex"):
+            Tensor(np.zeros(2, dtype=np.complex128))
+
+
+class TestValidPayloads:
+    def test_bool_arrays_are_valid(self):
+        mask = Tensor(np.array([True, False]))
+        assert mask.data.dtype == default_dtype()  # non-float -> default
+
+    def test_int_arrays_convert_to_default(self):
+        t = Tensor(np.arange(4))
+        assert t.data.dtype == default_dtype()
+
+    def test_float_arrays_keep_dtype(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.data.dtype == np.float32
+
+    def test_explicit_dtype_honoured(self):
+        t = Tensor([1, 2, 3], dtype=np.float32)
+        assert t.data.dtype == np.float32
+
+
+class TestCheckValidDtype:
+    def test_returns_resolved_dtype(self):
+        assert check_valid_dtype("float32") == np.dtype(np.float32)
+        assert check_valid_dtype(np.int64) == np.dtype(np.int64)
+
+    def test_context_appears_in_message(self):
+        with pytest.raises(TypeError, match="gradient payload"):
+            check_valid_dtype(object, context="gradient payload")

@@ -1,0 +1,172 @@
+"""Runtime numerics sanitizer: catches NaN/Inf, dtype drift and bad
+shapes at the dispatch choke point, and costs nothing when off.
+
+The failure tests register stub kernels that *deliberately* violate an
+invariant mid-graph, then assert the resulting :class:`SanitizerError`
+names the offending op and the shapes involved — the whole point is that
+a NaN born deep in a network points at its kernel, not at the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ops import registry
+from repro.ops.profiler import profile_ops
+from repro.tensor import (
+    SanitizerError,
+    Tensor,
+    apply,
+    sanitize_enabled,
+    sanitize_mode,
+)
+
+
+@pytest.fixture
+def stub_op():
+    """Register throwaway kernels, removed again after the test."""
+    names = []
+
+    def make(name, forward, backward=None, tags=()):
+        registry.register(name, forward, backward, tags=tags)
+        names.append(name)
+        return name
+
+    yield make
+    for name in names:
+        registry._OPS.pop(name, None)
+
+
+def _passthrough_fwd(ctx, x):
+    ctx.shape = x.shape
+    return x * 1.0
+
+
+class TestForwardChecks:
+    def test_nan_injected_mid_graph_names_op_and_shapes(self, stub_op):
+        def poison(ctx, x):
+            out = x * 1.0
+            out.flat[0] = np.nan
+            return out
+
+        stub_op("test_poison", poison, lambda ctx, grad: (grad,))
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        hidden = x * 2.0  # the NaN is born one op *after* a healthy one
+        with sanitize_mode():
+            with pytest.raises(SanitizerError) as excinfo:
+                apply("test_poison", (hidden,))
+        error = excinfo.value
+        assert error.op_name == "test_poison"
+        assert error.check == "non-finite"
+        assert "1 NaN/Inf value(s)" in str(error)
+        assert "(3, 4)" in str(error)  # input shape in the message
+
+    def test_output_dtype_drift_detected(self, stub_op):
+        stub_op("test_upcast", lambda ctx, x: x.astype(np.float64),
+                lambda ctx, grad: (grad,))
+        x = Tensor(np.ones(3, dtype=np.float32))
+        with sanitize_mode():
+            with pytest.raises(SanitizerError) as excinfo:
+                apply("test_upcast", (x,))
+        assert excinfo.value.check == "dtype-drift"
+        assert "float64" in str(excinfo.value)
+        assert "float32" in str(excinfo.value)
+
+    def test_disagreeing_input_dtypes_detected(self, stub_op):
+        stub_op("test_mix", lambda ctx, a, b: a * 1.0,
+                lambda ctx, grad: (grad, None))
+        a = Tensor(np.ones(3, dtype=np.float32))
+        b = Tensor(np.ones(3, dtype=np.float64))
+        with sanitize_mode():
+            with pytest.raises(SanitizerError, match="float inputs disagree"):
+                apply("test_mix", (a, b))
+
+    def test_elementwise_shape_contract(self, stub_op):
+        stub_op("test_truncate", lambda ctx, x: (x * 1.0)[:2],
+                lambda ctx, grad: (grad,), tags=("elementwise",))
+        x = Tensor(np.ones(5))
+        with sanitize_mode():
+            with pytest.raises(SanitizerError) as excinfo:
+                apply("test_truncate", (x,))
+        assert excinfo.value.check == "shape"
+        assert "(2,)" in str(excinfo.value) and "(5,)" in str(excinfo.value)
+
+    def test_non_array_output_rejected(self, stub_op):
+        stub_op("test_listy", lambda ctx, x: list(x),
+                lambda ctx, grad: (grad,))
+        x = Tensor(np.ones(3))
+        with sanitize_mode():
+            with pytest.raises(SanitizerError, match="not an ndarray"):
+                apply("test_listy", (x,))
+
+
+class TestBackwardChecks:
+    def test_nan_gradient_names_index_and_parent_shape(self, stub_op):
+        def bad_bwd(ctx, grad):
+            poisoned = np.full(ctx.shape, np.inf)
+            return (poisoned,)
+
+        stub_op("test_bad_grad", _passthrough_fwd, bad_bwd)
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        y = apply("test_bad_grad", (x,))
+        with sanitize_mode():
+            with pytest.raises(SanitizerError) as excinfo:
+                y.sum().backward()
+        error = excinfo.value
+        assert error.op_name == "test_bad_grad"
+        assert "gradient #0" in str(error)
+        assert "(2, 3)" in str(error)
+
+
+class TestOffPath:
+    def test_poisoned_op_passes_when_sanitizer_off(self, stub_op):
+        stub_op("test_quiet_nan", lambda ctx, x: x * np.nan,
+                lambda ctx, grad: (grad,))
+        x = Tensor(np.ones(3))
+        out = apply("test_quiet_nan", (x,))  # no sanitize_mode: no raise
+        assert np.isnan(out.data).all()
+
+    def test_dispatch_counts_and_results_identical(self):
+        # The sanitizer must not dispatch ops of its own (raw numpy
+        # checks only), or golden-run parity would break: same graph,
+        # same per-op call counts, bit-identical numbers either way.
+        def run():
+            x = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4),
+                       requires_grad=True)
+            y = ((x * x + x).tanh()).mean()
+            y.backward()
+            return x, y
+
+        with profile_ops() as plain:
+            x0, y0 = run()
+        with profile_ops() as sanitized:
+            with sanitize_mode():
+                x1, y1 = run()
+
+        def counts(profiler):
+            return {name: (row["forward_calls"], row["backward_calls"])
+                    for name, row in profiler.summary().items()}
+
+        assert counts(plain) == counts(sanitized)
+        assert y0.data.tobytes() == y1.data.tobytes()
+        assert x0.grad.tobytes() == x1.grad.tobytes()
+
+
+class TestModeFlag:
+    def test_nesting_and_restore(self):
+        assert not sanitize_enabled()
+        with sanitize_mode():
+            assert sanitize_enabled()
+            with sanitize_mode(False):
+                assert not sanitize_enabled()
+            assert sanitize_enabled()
+        assert not sanitize_enabled()
+
+    def test_clean_graph_is_untouched(self):
+        x = Tensor(np.ones((4, 2)), requires_grad=True)
+        with sanitize_mode():
+            y = (x * 3.0 + 1.0).sum()
+            y.backward()
+        assert y.data == pytest.approx(32.0)
+        assert x.grad == pytest.approx(np.full((4, 2), 3.0))
