@@ -1,10 +1,15 @@
 """Shared plumbing for the benchmark harnesses.
 
-Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
-the corresponding experiment from :mod:`repro.experiments`, renders the
-paper-format output (with the paper's reference numbers alongside), prints
-it to the live terminal (bypassing pytest capture) and archives it under
-``results/``.
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+declares a :class:`~repro.experiments.grid.GridSpec` for the runs behind
+that artefact, executes it through the grid runner, renders the
+paper-format output (with the paper's reference numbers alongside),
+prints it to the live terminal (bypassing pytest capture) and archives
+both the text and the ``GRID_<name>.json`` aggregate under ``results/``.
+
+The archiving itself lives in :mod:`repro.experiments.grid.reporting`
+(shared with the ``repro grid`` CLI); this module only pins the results
+directory to the repo root and wires pytest specifics.
 
 Budgets honour ``REPRO_SCALE`` / ``REPRO_TRAIN_SIZE`` / ``REPRO_TEST_SIZE``
 via :mod:`repro.experiments.protocol`.
@@ -14,18 +19,33 @@ from __future__ import annotations
 
 import pathlib
 
+from repro.experiments.grid import GridResult, GridSpec, run_grid
+from repro.experiments.grid import reporting as _reporting
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 def emit(name: str, text: str, capsys=None) -> None:
     """Print ``text`` to the real terminal and save it to results/<name>.txt."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    if capsys is not None:
-        with capsys.disabled():
-            print(f"\n{text}\n")
-    else:  # pragma: no cover - direct invocation
-        print(f"\n{text}\n")
+    _reporting.emit(name, text, capsys=capsys, directory=RESULTS_DIR)
+
+
+def write_json(name: str, payload) -> pathlib.Path:
+    """Archive ``results/<name>.json`` atomically."""
+    return _reporting.write_json(name, payload, directory=RESULTS_DIR)
+
+
+def run_bench_grid(spec: GridSpec) -> GridResult:
+    """Execute a bench's grid in memory and archive its aggregate artifact.
+
+    Every completed bench leaves a machine-readable
+    ``results/GRID_<name>.json`` next to its rendered text.
+    """
+    result = run_grid(spec, artifact_dir=RESULTS_DIR)
+    if not result.complete:
+        failures = "; ".join(f"{r.run_id}: {r.error}" for r in result.failures)
+        raise RuntimeError(f"grid {spec.name!r} incomplete: {failures}")
+    return result
 
 
 def run_once(benchmark, func):

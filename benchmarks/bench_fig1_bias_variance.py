@@ -4,40 +4,51 @@ Paper (C100, ResNet-32): AdaBoost.NC = highest variance but highest bias;
 Snapshot = low bias but low variance; BANs = neither; EDDE = low bias AND
 high variance — the only method escaping the bias/variance dilemma.
 
-Rendered as a table plus an ASCII scatter of the bias/variance plane.
+One grid over the four methods with the ``bias_variance`` collector;
+rendered as a table plus an ASCII scatter of the bias/variance plane.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table
-from repro.experiments import build_scenario, run_bias_variance
+from repro.experiments.grid import GridSpec
 
 METHODS = ("bans", "adaboost_nc", "snapshot", "edde")
 
+GRID = GridSpec(
+    name="fig1_bias_variance",
+    factors={"method": list(METHODS), "scenario": ["c100-resnet"]},
+    collect="bias_variance",
+    checkpoint=False,
+)
 
-def _run_fig1():
-    scenario = build_scenario("c100-resnet", rng=0)
-    return run_bias_variance(scenario, methods=METHODS, rng=0)
+
+def _points(grid):
+    """(label, bias, variance) per method, in declared method order."""
+    points = []
+    for method in METHODS:
+        record = grid.one(method=method)
+        points.append((record.meta.get("method_label", method),
+                       record.metrics["bias"], record.metrics["variance"]))
+    return points
 
 
 def _scatter(points, width=56, height=14) -> str:
-    biases = [p.bias for p in points]
-    variances = [p.variance for p in points]
+    biases = [bias for _, bias, _ in points]
+    variances = [variance for _, _, variance in points]
     b_lo, b_hi = min(biases), max(biases)
     v_lo, v_hi = min(variances), max(variances)
     b_span = max(b_hi - b_lo, 1e-9)
     v_span = max(v_hi - v_lo, 1e-9)
     grid = [[" "] * width for _ in range(height)]
     legend = []
-    for index, point in enumerate(points):
+    for index, (label, bias, variance) in enumerate(points):
         marker = chr(ord("A") + index)
-        legend.append(f"{marker} = {point.method}")
-        col = int((point.variance - v_lo) / v_span * (width - 1))
-        row = int((1.0 - (point.bias - b_lo) / b_span) * (height - 1))
+        legend.append(f"{marker} = {label}")
+        col = int((variance - v_lo) / v_span * (width - 1))
+        row = int((1.0 - (bias - b_lo) / b_span) * (height - 1))
         grid[row][col] = marker
     lines = [f"bias: {b_hi:.3f} (top) .. {b_lo:.3f} (bottom)   "
              f"variance: {v_lo:.3f} .. {v_hi:.3f} (left to right)"]
@@ -47,8 +58,10 @@ def _scatter(points, width=56, height=14) -> str:
     return "\n".join(lines)
 
 
-def _render(points) -> str:
-    rows = [[p.method, f"{p.bias:.4f}", f"{p.variance:.4f}"] for p in points]
+def _render(grid) -> str:
+    points = _points(grid)
+    rows = [[label, f"{bias:.4f}", f"{variance:.4f}"]
+            for label, bias, variance in points]
     table = format_table(
         ["Method", "Bias (0/1)", "Variance (0/1)"], rows,
         title="Figure 1 — Bias and variance of each method's base models "
@@ -59,10 +72,11 @@ def _render(points) -> str:
 
 
 def test_fig1_bias_variance(benchmark, capsys):
-    points = run_once(benchmark, _run_fig1)
-    emit("fig1_bias_variance", _render(points), capsys)
-    by_method = {p.method: p for p in points}
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("fig1_bias_variance", _render(grid), capsys)
     # EDDE's members must be more diverse (higher variance) than Snapshot's.
-    assert by_method["EDDE"].variance > by_method["Snapshot"].variance
+    assert grid.metric("variance", method="edde") > \
+        grid.metric("variance", method="snapshot")
     # AdaBoost.NC pays the highest bias.
-    assert by_method["AdaBoost.NC"].bias == max(p.bias for p in points)
+    assert grid.metric("bias", method="adaboost_nc") == \
+        max(record.metrics["bias"] for record in grid.records)

@@ -4,6 +4,11 @@ Paper: CIFAR-100 split into 6 folds; h1 pretrained on folds 1-5; h2
 hatched at each β and trained on folds 1-4; its mean early accuracy is
 compared on fold 5 (seen only by the teacher) versus fold 6 (unseen).
 
+Here: a scenario x β grid on the ``beta_probe`` runner.  Each β cell
+retrains a bit-identical teacher (the teacher's RNG stream is salted but
+β-free), so the sweep matches the paper's shared-teacher protocol while
+every cell stays an independent, parallelizable run.
+
 Expected shape: at β=1 the accuracy on the teacher-seen fold exceeds the
 unseen fold (inherited specific knowledge); as β shrinks the gap closes.
 The β the adaptive procedure would select is the largest with a small gap.
@@ -11,30 +16,33 @@ The β the adaptive procedure would select is the largest with a small gap.
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import build_scenario, run_beta_sweep
+from repro.experiments.grid import GridSpec
 
 BETAS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4)
+SCENARIOS = ("c100-resnet", "c100-densenet")
+
+GRID = GridSpec(
+    name="fig5_beta_selection",
+    factors={"scenario": list(SCENARIOS), "beta": list(BETAS)},
+    base={"n_folds": 6, "probe_epochs": 3},
+    runner="beta_probe",
+    checkpoint=False,
+)
 
 
-def _run_fig5():
-    outputs = {}
-    for scenario_name in ("c100-resnet", "c100-densenet"):
-        scenario = build_scenario(scenario_name, rng=0)
-        outputs[scenario_name] = run_beta_sweep(
-            scenario, betas=BETAS, n_folds=6,
-            probe_epochs=3, rng=0)
-    return outputs
-
-
-def _render(outputs) -> str:
+def _render(grid) -> str:
     parts = []
-    for name, probes in outputs.items():
-        rows = [[f"β = {p.beta}", percent(p.accuracy_seen_fold),
-                 percent(p.accuracy_unseen_fold), f"{p.gap:+.4f}"]
-                for p in probes]
+    for name in SCENARIOS:
+        rows = []
+        for beta in BETAS:
+            metrics = grid.one(scenario=name, beta=beta).metrics
+            rows.append([f"β = {beta}",
+                         percent(metrics["accuracy_seen_fold"]),
+                         percent(metrics["accuracy_unseen_fold"]),
+                         f"{metrics['gap']:+.4f}"])
         parts.append(format_table(
             ["β", "Fold n−1 (teacher saw)", "Fold n (unseen)", "Gap"],
             rows,
@@ -46,9 +54,8 @@ def _render(outputs) -> str:
 
 
 def test_fig5_beta_selection(benchmark, capsys):
-    outputs = run_once(benchmark, _run_fig5)
-    emit("fig5_beta_selection", _render(outputs), capsys)
-    for probes in outputs.values():
-        for probe in probes:
-            assert 0.0 <= probe.accuracy_seen_fold <= 1.0
-            assert 0.0 <= probe.accuracy_unseen_fold <= 1.0
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("fig5_beta_selection", _render(grid), capsys)
+    for record in grid.records:
+        assert 0.0 <= record.metrics["accuracy_seen_fold"] <= 1.0
+        assert 0.0 <= record.metrics["accuracy_unseen_fold"] <= 1.0

@@ -4,19 +4,21 @@ Paper: all methods on CIFAR-100 with ResNet-32 (left) and DenseNet-40
 (right); EDDE's curve dominates, reaching 73.67% within 130 epochs while
 the next-best (Snapshot) needs 400 epochs for 72.98% — >3x faster.
 
-Here: the same curves on the synthetic C100.  By default only the ResNet
-panel runs (the DenseNet panel roughly doubles the bench's runtime); set
-``REPRO_FIG7_DENSENET=1`` to add it.
+Here: the same curves on the synthetic C100 via the ``curve`` collector
+(curves ride along in the run records; the models stay in the workers).
+By default only the ResNet panel runs (the DenseNet panel roughly doubles
+the bench's runtime); set ``REPRO_FIG7_DENSENET=1`` to add it.
 """
 
 from __future__ import annotations
 
 import os
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import curve_table, format_table, render_curves, speedup_over
-from repro.experiments import ALL_METHODS, build_scenario, run_effectiveness
+from repro.experiments import ALL_METHODS
+from repro.experiments.grid import GridSpec, record_fit_result
 
 
 def _panels():
@@ -26,17 +28,21 @@ def _panels():
     return panels
 
 
-def _run_fig7():
-    outputs = {}
-    for scenario_name in _panels():
-        scenario = build_scenario(scenario_name, rng=0)
-        outputs[scenario_name] = run_effectiveness(scenario, ALL_METHODS, rng=0)
-    return outputs
+def _grid() -> GridSpec:
+    return GridSpec(
+        name="fig7_accuracy_vs_epochs",
+        factors={"method": list(ALL_METHODS), "scenario": _panels()},
+        collect="curve",
+        checkpoint=False,
+    )
 
 
-def _render(outputs) -> str:
+def _render(grid) -> str:
     parts = []
-    for name, results in outputs.items():
+    for name in _panels():
+        results = {method: record_fit_result(grid.one(method=method,
+                                                      scenario=name))
+                   for method in ALL_METHODS}
         ordered = list(results.values())
         chart = render_curves(
             ordered, title=f"Figure 7 — ensemble accuracy vs epochs ({name})")
@@ -58,9 +64,8 @@ def _render(outputs) -> str:
 
 
 def test_fig7_accuracy_vs_epochs(benchmark, capsys):
-    outputs = run_once(benchmark, _run_fig7)
-    emit("fig7_accuracy_vs_epochs", _render(outputs), capsys)
-    for results in outputs.values():
-        for result in results.values():
-            epochs = [p.cumulative_epochs for p in result.curve]
-            assert epochs == sorted(epochs)
+    grid = run_once(benchmark, lambda: run_bench_grid(_grid()))
+    emit("fig7_accuracy_vs_epochs", _render(grid), capsys)
+    for record in grid.records:
+        epochs = [p["cumulative_epochs"] for p in record.metrics["curve"]]
+        assert epochs == sorted(epochs)

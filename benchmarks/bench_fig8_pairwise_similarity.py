@@ -4,27 +4,35 @@ Paper (C100, ResNet-32): Snapshot's off-diagonal similarity is visibly the
 highest (nearby cycles land in nearby minima, and grows as training
 proceeds); EDDE and AdaBoost.NC are visibly lower.
 
-Rendered as three ASCII heatmaps plus the mean off-diagonal similarity.
+The ``diversity`` collector carries each run's similarity matrix in its
+record, so the heatmaps render straight from the grid.  Rendered as three
+ASCII heatmaps plus the mean off-diagonal similarity.
 """
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import mean_offdiagonal_similarity, render_heatmap
-from repro.experiments import build_scenario, run_diversity_analysis
+from repro.experiments.grid import GridSpec
+
+METHODS = {"snapshot": "Snapshot Ensemble", "edde": "EDDE",
+           "adaboost_nc": "AdaBoost.NC"}
+
+GRID = GridSpec(
+    name="fig8_pairwise_similarity",
+    factors={"method": list(METHODS), "scenario": ["c100-resnet"]},
+    base={"num_models": 8},
+    collect="diversity",
+    checkpoint=False,
+)
 
 
-def _run_fig8():
-    scenario = build_scenario("c100-resnet", rng=0)
-    return run_diversity_analysis(scenario, num_models=8, rng=0)
-
-
-def _render(outputs) -> str:
+def _render(grid) -> str:
     parts = ["Figure 8 — pairwise similarity between the first 8 base "
              "models (synthetic C100, ResNet)"]
-    for label, summary in outputs.items():
-        matrix = summary["similarity_matrix"]
+    for method, label in METHODS.items():
+        matrix = grid.metric("similarity_matrix", method=method)
         parts.append(render_heatmap(matrix, title=f"--- {label} ---",
                                     low=0.5, high=1.0))
         parts.append(f"mean off-diagonal similarity: "
@@ -36,13 +44,11 @@ def _render(outputs) -> str:
 
 
 def test_fig8_pairwise_similarity(benchmark, capsys):
-    outputs = run_once(benchmark, _run_fig8)
-    emit("fig8_pairwise_similarity", _render(outputs), capsys)
-    snapshot_sim = mean_offdiagonal_similarity(
-        outputs["Snapshot Ensemble"]["similarity_matrix"])
-    edde_sim = mean_offdiagonal_similarity(outputs["EDDE"]["similarity_matrix"])
-    nc_sim = mean_offdiagonal_similarity(
-        outputs["AdaBoost.NC"]["similarity_matrix"])
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("fig8_pairwise_similarity", _render(grid), capsys)
+    similarity = {method: mean_offdiagonal_similarity(
+                      grid.metric("similarity_matrix", method=method))
+                  for method in METHODS}
     # Paper's qualitative ordering: Snapshot most similar members.
-    assert snapshot_sim > edde_sim
-    assert snapshot_sim > nc_sim
+    assert similarity["snapshot"] > similarity["edde"]
+    assert similarity["snapshot"] > similarity["adaboost_nc"]

@@ -8,7 +8,9 @@ paper artefacts), this one measures the op layer itself:
   reports during a real fit);
 * the fused ``softmax_cross_entropy`` / ``edde_loss`` kernels against the
   multi-node chains they replace — the fused path must win;
-* wall-clock seconds per EDDE boosting round on the benchmark MLP config.
+* wall-clock seconds per EDDE boosting round on the benchmark MLP config,
+  measured through a one-cell grid (the ``method`` runner reports
+  ``round_seconds`` in the run record's metadata).
 
 Results land in ``results/BENCH_ops.json`` (machine-readable) and
 ``results/bench_ops.txt`` (human-readable).  Runs at the library-default
@@ -17,17 +19,18 @@ dtype (float32 unless ``REPRO_DTYPE`` overrides).
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
-from _common import RESULTS_DIR, emit, run_once
+from _common import emit, run_bench_grid, run_once, write_json
 
 from repro.analysis import format_table
-from repro.core.config import EDDEConfig
-from repro.core.edde import EDDETrainer
-from repro.core.losses import diversity_driven_loss
+# The fused edde_loss kernel is parity-tested against exactly this
+# unfused reference chain, so the micro-bench must call it directly.
+from repro.core.losses import diversity_driven_loss  # repro-lint: disable=RL001 (fused-vs-unfused reference chain)
 from repro.data.synthetic_images import ImageConfig, make_image_dataset
+from repro.experiments.grid import GridSpec, scenario_scope
+from repro.experiments.protocol import Scenario
 from repro.models import MLP, ModelFactory
 from repro.nn import functional as F
 from repro.nn.losses import cross_entropy
@@ -133,9 +136,9 @@ def _bench_fused(batch: int = 256, classes: int = 100) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Seconds per EDDE boosting round (fused path, benchmark MLP config).
+# Seconds per EDDE boosting round, through a one-cell grid.
 
-def _bench_edde_rounds() -> dict:
+def _bench_scenario() -> Scenario:
     config = ImageConfig(num_classes=4, image_size=8, train_size=240,
                          test_size=120, noise_std=0.2, jitter=1,
                          occlusion_prob=0.1, mix_prob=0.0, label_noise=0.0,
@@ -144,14 +147,26 @@ def _bench_edde_rounds() -> dict:
     input_dim = int(np.prod(split.train.x.shape[1:]))
     factory = ModelFactory(MLP, input_dim=input_dim,
                            num_classes=split.train.num_classes, hidden=(32,))
-    edde = EDDEConfig(num_models=3, gamma=0.2, beta=0.5,
-                      first_epochs=3, later_epochs=2, lr=0.05, batch_size=32)
-    result = EDDETrainer(factory, edde).fit(split.train, split.test, rng=3)
-    rounds = [float(s) for s in result.metadata.get("round_seconds", [])]
+    return Scenario(name="bench-ops", split=split, factory=factory,
+                    ensemble_size=3, epochs_per_model=3,
+                    edde_first_epochs=3, edde_later_epochs=2,
+                    lr=0.05, batch_size=32, gamma=0.2, beta=0.5)
+
+
+def _bench_edde_rounds() -> dict:
+    spec = GridSpec(name="bench_ops_edde_rounds",
+                    factors={"method": ["edde"], "scenario": ["bench-ops"],
+                             "seed": [3]},
+                    base={"num_models": 3},
+                    checkpoint=False)
+    with scenario_scope("bench-ops", _bench_scenario()):
+        grid = run_bench_grid(spec)
+    record = grid.one(method="edde")
+    rounds = [float(s) for s in record.meta.get("round_seconds", [])]
     return {
         "round_seconds": rounds,
         "total_seconds": sum(rounds),
-        "final_accuracy": float(result.final_accuracy),
+        "final_accuracy": float(record.metrics["final_accuracy"]),
     }
 
 
@@ -185,9 +200,7 @@ def _run_bench_ops() -> dict:
 
 def test_bench_ops(benchmark, capsys):
     payload = run_once(benchmark, _run_bench_ops)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_ops.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_json("BENCH_ops", payload)
     emit("bench_ops", _render(payload), capsys)
     # The fused kernels replace 5+-node chains with one op; if they ever
     # stop winning, the fusion is pure complexity and should be removed.

@@ -5,16 +5,18 @@ method in a group trained with the same 200-epoch budget; EDDE wins every
 column (e.g. 74.38% vs next-best 72.17% on C100/ResNet).
 
 Here: the same 7 methods on the synthetic C10/C100 stand-ins at the scaled
-equal budget.  The expected *shape* is EDDE at or near the top of each
-column with the boosting-family baselines (which sub-sample) at the bottom.
+equal budget, declared as one method x scenario grid.  The expected *shape*
+is EDDE at or near the top of each column with the boosting-family
+baselines (which sub-sample) at the bottom.
 """
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import ALL_METHODS, build_scenario, run_effectiveness
+from repro.experiments import ALL_METHODS
+from repro.experiments.grid import GridSpec
 
 # Paper Table II reference accuracies (percent).
 PAPER = {
@@ -36,24 +38,23 @@ LABELS = {"single": "Single Model", "bans": "BANs", "bagging": "Bagging",
           "adaboost_m1": "AdaBoost.M1", "adaboost_nc": "AdaBoost.NC",
           "snapshot": "Snapshot", "edde": "EDDE"}
 
-
-def _run_table2():
-    columns = {}
-    for scenario_name in PAPER:
-        scenario = build_scenario(scenario_name, rng=0)
-        columns[scenario_name] = run_effectiveness(scenario, ALL_METHODS, rng=0)
-    return columns
+GRID = GridSpec(
+    name="table2_cv_accuracy",
+    factors={"method": list(ALL_METHODS), "scenario": list(PAPER)},
+    checkpoint=False,
+)
 
 
-def _render(columns) -> str:
+def _render(grid) -> str:
     headers = ["Method"]
-    for name in columns:
+    for name in PAPER:
         headers += [f"{name} (measured)", f"{name} (paper)"]
     rows = []
     for method in ALL_METHODS:
         row = [LABELS[method]]
-        for name, results in columns.items():
-            row.append(percent(results[method].final_accuracy))
+        for name in PAPER:
+            row.append(percent(grid.metric("final_accuracy",
+                                           method=method, scenario=name)))
             row.append(f"{PAPER[name][method]:.2f}%")
         rows.append(row)
     return format_table(
@@ -63,9 +64,8 @@ def _render(columns) -> str:
 
 
 def test_table2_cv_accuracy(benchmark, capsys):
-    columns = run_once(benchmark, _run_table2)
-    emit("table2_cv_accuracy", _render(columns), capsys)
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("table2_cv_accuracy", _render(grid), capsys)
     # Sanity: every method produced a valid accuracy in every column.
-    for results in columns.values():
-        for result in results.values():
-            assert 0.0 <= result.final_accuracy <= 1.0
+    for record in grid.records:
+        assert 0.0 <= record.metrics["final_accuracy"] <= 1.0

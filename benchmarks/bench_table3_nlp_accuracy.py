@@ -3,16 +3,17 @@
 Paper: Text-CNN on IMDB and MR; EDDE trains for *half* the budget of the
 other methods yet reaches the highest accuracy (87.69% IMDB / 76.98% MR).
 
-Here: the same 7 methods on the synthetic IMDB/MR stand-ins; EDDE's
-half-budget handicap is preserved via the scenario protocol.
+Here: the same 7 methods on the synthetic IMDB/MR stand-ins as one grid;
+EDDE's half-budget handicap is preserved via the scenario protocol.
 """
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import ALL_METHODS, build_scenario, run_effectiveness
+from repro.experiments import ALL_METHODS
+from repro.experiments.grid import GridSpec
 
 PAPER = {
     "imdb-textcnn": {"single": 86.61, "bans": 86.98, "bagging": 87.14,
@@ -27,28 +28,28 @@ LABELS = {"single": "Single Model", "bans": "BANs", "bagging": "Bagging",
           "adaboost_m1": "AdaBoost.M1", "adaboost_nc": "AdaBoost.NC",
           "snapshot": "Snapshot", "edde": "EDDE"}
 
-
-def _run_table3():
-    columns = {}
-    for scenario_name in PAPER:
-        scenario = build_scenario(scenario_name, rng=0)
-        columns[scenario_name] = run_effectiveness(scenario, ALL_METHODS, rng=0)
-    return columns
+GRID = GridSpec(
+    name="table3_nlp_accuracy",
+    factors={"method": list(ALL_METHODS), "scenario": list(PAPER)},
+    checkpoint=False,
+)
 
 
-def _render(columns) -> str:
+def _render(grid) -> str:
     headers = ["Method"]
-    for name in columns:
+    for name in PAPER:
         headers += [f"{name} (measured)", f"{name} (paper)"]
     rows = []
     for method in ALL_METHODS:
         row = [LABELS[method]]
-        for name, results in columns.items():
-            row.append(percent(results[method].final_accuracy))
+        for name in PAPER:
+            row.append(percent(grid.metric("final_accuracy",
+                                           method=method, scenario=name)))
             row.append(f"{PAPER[name][method]:.2f}%")
         rows.append(row)
-    epochs_note = {name: {m: r.total_epochs for m, r in results.items()}
-                   for name, results in columns.items()}
+    epochs_note = {name: {m: grid.metric("total_epochs", method=m, scenario=name)
+                          for m in ALL_METHODS}
+                   for name in PAPER}
     table = format_table(
         headers, rows,
         title="Table III — Test accuracy on the NLP task "
@@ -57,10 +58,11 @@ def _render(columns) -> str:
 
 
 def test_table3_nlp_accuracy(benchmark, capsys):
-    columns = run_once(benchmark, _run_table3)
-    emit("table3_nlp_accuracy", _render(columns), capsys)
-    for results in columns.values():
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("table3_nlp_accuracy", _render(grid), capsys)
+    for name in PAPER:
         # EDDE's half-budget handicap must actually be in force.
-        assert results["edde"].total_epochs < results["snapshot"].total_epochs
-        for result in results.values():
-            assert 0.0 <= result.final_accuracy <= 1.0
+        assert grid.metric("total_epochs", method="edde", scenario=name) < \
+            grid.metric("total_epochs", method="snapshot", scenario=name)
+    for record in grid.records:
+        assert 0.0 <= record.metrics["final_accuracy"] <= 1.0

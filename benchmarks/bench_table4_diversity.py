@@ -15,10 +15,10 @@ training epochs than the other two.
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import build_scenario, run_diversity_analysis
+from repro.experiments.grid import GridSpec
 
 PAPER = {
     "Snapshot Ensemble": (400, 68.53, 72.98, 4.45, 0.1322),
@@ -26,25 +26,32 @@ PAPER = {
     "AdaBoost.NC": (400, 66.81, 72.76, 5.95, 0.1787),
 }
 
+METHODS = {"snapshot": "Snapshot Ensemble", "edde": "EDDE",
+           "adaboost_nc": "AdaBoost.NC"}
 
-def _run_table4():
-    scenario = build_scenario("c100-resnet", rng=0)
-    return run_diversity_analysis(scenario, num_models=8, rng=0)
+GRID = GridSpec(
+    name="table4_diversity",
+    factors={"method": list(METHODS), "scenario": ["c100-resnet"]},
+    base={"num_models": 8},        # the paper compares the first 8 models
+    collect="diversity",
+    checkpoint=False,
+)
 
 
-def _render(outputs) -> str:
+def _render(grid) -> str:
     headers = ["Method", "Epochs", "Avg acc", "Ens acc", "Increase",
                "Div_H", "(paper: epochs/avg/ens/incr/div)"]
     rows = []
-    for label, summary in outputs.items():
+    for method, label in METHODS.items():
+        metrics = grid.one(method=method).metrics
         p = PAPER[label]
         rows.append([
             label,
-            summary["training_epochs"],
-            percent(summary["average_accuracy"]),
-            percent(summary["ensemble_accuracy"]),
-            percent(summary["increased_accuracy"]),
-            f"{summary['diversity']:.4f}",
+            metrics["total_epochs"],
+            percent(metrics["average_member_accuracy"]),
+            percent(metrics["final_accuracy"]),
+            percent(metrics["increased_accuracy"]),
+            f"{metrics['diversity']:.4f}",
             f"{p[0]} / {p[1]}% / {p[2]}% / {p[3]}% / {p[4]}",
         ])
     return format_table(headers, rows,
@@ -53,11 +60,11 @@ def _render(outputs) -> str:
 
 
 def test_table4_diversity(benchmark, capsys):
-    outputs = run_once(benchmark, _run_table4)
-    emit("table4_diversity", _render(outputs), capsys)
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("table4_diversity", _render(grid), capsys)
     # Paper's qualitative ordering on the diversity axis.
-    assert outputs["Snapshot Ensemble"]["diversity"] < \
-        outputs["AdaBoost.NC"]["diversity"]
+    assert grid.metric("diversity", method="snapshot") < \
+        grid.metric("diversity", method="adaboost_nc")
     # AdaBoost.NC pays for its diversity with the lowest member accuracy.
-    assert outputs["AdaBoost.NC"]["average_accuracy"] <= \
-        outputs["Snapshot Ensemble"]["average_accuracy"]
+    assert grid.metric("average_member_accuracy", method="adaboost_nc") <= \
+        grid.metric("average_member_accuracy", method="snapshot")

@@ -5,28 +5,33 @@ Paper (C100, ResNet-32): γ=0 → 73.86%, γ=0.1 → 74.38% (best),
 
 Expected shape: an interior optimum at small positive γ with a clear
 decline at γ=1 (too much negative correlation starves the label term).
+The sweep is a one-factor grid: ``gamma`` is a free factor, so the grid
+runner forwards it straight into ``EDDEConfig.gamma``.
 """
 
 from __future__ import annotations
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import build_scenario, run_gamma_sweep
+from repro.experiments.grid import GridSpec
 
 PAPER = {0.0: 73.86, 0.1: 74.38, 0.3: 74.13, 0.5: 73.72, 1.0: 72.47}
 GAMMAS = tuple(PAPER)
 
+GRID = GridSpec(
+    name="table5_gamma",
+    factors={"method": ["edde"], "scenario": ["c100-resnet"],
+             "gamma": list(GAMMAS)},
+    checkpoint=False,
+)
 
-def _run_table5():
-    scenario = build_scenario("c100-resnet", rng=0)
-    return run_gamma_sweep(scenario, gammas=GAMMAS, rng=0)
 
-
-def _render(results) -> str:
-    rows = [[f"γ = {gamma}", percent(result.final_accuracy),
+def _render(grid) -> str:
+    rows = [[f"γ = {gamma}",
+             percent(grid.metric("final_accuracy", gamma=gamma)),
              f"{PAPER[gamma]:.2f}%"]
-            for gamma, result in results.items()]
+            for gamma in GAMMAS]
     return format_table(["Parameter", "Ensemble accuracy (measured)",
                          "Ensemble accuracy (paper)"], rows,
                         title="Table V — Test accuracy with different γ "
@@ -34,7 +39,7 @@ def _render(results) -> str:
 
 
 def test_table5_gamma(benchmark, capsys):
-    results = run_once(benchmark, _run_table5)
-    emit("table5_gamma", _render(results), capsys)
-    for result in results.values():
-        assert 0.0 <= result.final_accuracy <= 1.0
+    grid = run_once(benchmark, lambda: run_bench_grid(GRID))
+    emit("table5_gamma", _render(grid), capsys)
+    for record in grid.records:
+        assert 0.0 <= record.metrics["final_accuracy"] <= 1.0

@@ -8,9 +8,11 @@ Paper (C100, ResNet-32):
 | EDDE (transfer none)   | 70.78% | 0.1854 | 66.72% |
 | AdaBoost.NC (transfer) | 72.64% | 0.1573 | 67.33% |
 
-Expected shape: transfer-none has the highest raw diversity but the worst
-member and ensemble accuracy; transfer-all the opposite; full EDDE the
-best ensemble accuracy.  Set ``REPRO_EXTENDED_ABLATION=1`` for the two
+Each ablation is a named *case bundle* of the grid (method + config
+overrides, or a variant runner for the beyond-paper cases).  Expected
+shape: transfer-none has the highest raw diversity but the worst member
+and ensemble accuracy; transfer-all the opposite; full EDDE the best
+ensemble accuracy.  Set ``REPRO_EXTENDED_ABLATION=1`` for the two
 beyond-paper ablations flagged in DESIGN.md (weight-update origin and
 correlation target).
 """
@@ -19,10 +21,10 @@ from __future__ import annotations
 
 import os
 
-from _common import emit, run_once
+from _common import emit, run_bench_grid, run_once
 
 from repro.analysis import format_table, percent
-from repro.experiments import build_scenario, run_ablation
+from repro.experiments.grid import GridSpec
 
 PAPER = {
     "EDDE": (74.38, 0.1743, 67.91),
@@ -32,36 +34,66 @@ PAPER = {
     "AdaBoost.NC (transfer)": (72.64, 0.1573, 67.33),
 }
 
+CASES = {
+    "edde": {"method": "edde"},
+    "normal_loss": {"method": "edde", "overrides": {"gamma": 0.0}},
+    "transfer_all": {"method": "edde", "overrides": {"beta": 1.0}},
+    "transfer_none": {"method": "edde", "overrides": {"beta": 0.0}},
+    "adaboost_nc_transfer": {"method": "adaboost_nc",
+                             "overrides": {"transfer": True}},
+}
+EXTENDED_CASES = {
+    "cumulative_weights": {"runner": "edde_cumulative_weights"},
+    "correlate_previous": {"runner": "edde_correlate_previous_model"},
+}
+LABELS = {
+    "edde": "EDDE",
+    "normal_loss": "EDDE (normal loss)",
+    "transfer_all": "EDDE (transfer all)",
+    "transfer_none": "EDDE (transfer none)",
+    "adaboost_nc_transfer": "AdaBoost.NC (transfer)",
+    "cumulative_weights": "EDDE (weights from W_{t-1})",
+    "correlate_previous": "EDDE (correlate h_{t-1} only)",
+}
 
-def _run_table6():
-    scenario = build_scenario("c100-resnet", rng=0)
-    extended = bool(int(os.environ.get("REPRO_EXTENDED_ABLATION", "0")))
-    return run_ablation(scenario, rng=0, extended=extended)
+
+def _grid() -> GridSpec:
+    cases = dict(CASES)
+    if int(os.environ.get("REPRO_EXTENDED_ABLATION", "0")):
+        cases.update(EXTENDED_CASES)
+    return GridSpec(
+        name="table6_ablation",
+        factors={"scenario": ["c100-resnet"]},
+        cases=cases,
+        collect="diversity",
+        checkpoint=False,
+    )
 
 
-def _render(outputs) -> str:
+def _render(grid) -> str:
     headers = ["Method", "Ens acc", "Div_H", "Avg acc",
                "(paper: ens/div/avg)"]
     rows = []
-    for label, summary in outputs.items():
+    for record in grid.records:
+        label = LABELS[record.factors["case"]]
         paper = PAPER.get(label)
         reference = (f"{paper[0]}% / {paper[1]} / {paper[2]}%"
                      if paper else "— (beyond-paper ablation)")
         rows.append([label,
-                     percent(summary["ensemble_accuracy"]),
-                     f"{summary['diversity']:.4f}",
-                     percent(summary["average_accuracy"]),
+                     percent(record.metrics["final_accuracy"]),
+                     f"{record.metrics['diversity']:.4f}",
+                     percent(record.metrics["average_member_accuracy"]),
                      reference])
     return format_table(headers, rows,
                         title="Table VI — Ablation study (synthetic C100, ResNet)")
 
 
 def test_table6_ablation(benchmark, capsys):
-    outputs = run_once(benchmark, _run_table6)
-    emit("table6_ablation", _render(outputs), capsys)
+    grid = run_once(benchmark, lambda: run_bench_grid(_grid()))
+    emit("table6_ablation", _render(grid), capsys)
     # Paper shape: removing transfer entirely maximises raw diversity...
-    assert outputs["EDDE (transfer none)"]["diversity"] >= \
-        outputs["EDDE (transfer all)"]["diversity"]
+    assert grid.metric("diversity", case="transfer_none") >= \
+        grid.metric("diversity", case="transfer_all")
     # ...but costs member accuracy.
-    assert outputs["EDDE (transfer none)"]["average_accuracy"] <= \
-        outputs["EDDE (transfer all)"]["average_accuracy"] + 0.02
+    assert grid.metric("average_member_accuracy", case="transfer_none") <= \
+        grid.metric("average_member_accuracy", case="transfer_all") + 0.02

@@ -20,7 +20,9 @@ follow by closure.  The dependency arrows point strictly downwards::
        \\  |  /   /
       experiments
           |
-      cli / repro (facade)
+   experiments.grid
+          |
+  cli / benchmarks / repro (facade)
 
 RL001 flags any ``repro.*`` import (including lazy function-level ones)
 that points upward or sideways outside the declared closure, and —
@@ -39,6 +41,12 @@ from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
 # Direct dependencies each package may import; the check uses the
 # transitive closure, so e.g. ``core`` may import ``repro.ops`` because
 # core -> models -> nn -> tensor -> ops.
+#
+# Dotted keys declare *sub-layers*: ``experiments.grid`` (the grid
+# orchestrator, PR 6) sits strictly above plain ``experiments`` — grid
+# modules may import the runners/protocol, never the reverse.  The
+# ``benchmarks`` key is a path-attributed pseudo-layer for the bench
+# harnesses (which live outside ``src/repro`` and have no module name).
 LAYER_GRAPH: Dict[str, Set[str]] = {
     "utils": set(),
     "ops": set(),
@@ -52,9 +60,21 @@ LAYER_GRAPH: Dict[str, Set[str]] = {
     "analysis": {"core", "utils"},
     "serving": {"core", "utils"},
     "experiments": {"baselines", "analysis", "serving", "core", "utils"},
-    "cli": {"experiments", "analysis", "serving", "core", "models", "utils"},
+    "experiments.grid": {"experiments", "analysis", "core", "data", "utils"},
+    "cli": {"experiments.grid", "experiments", "analysis", "serving", "core",
+            "models", "utils"},
+    "benchmarks": {"experiments.grid", "experiments", "analysis", "data",
+                   "models", "nn", "ops", "tensor", "utils"},
     # repro/__init__.py re-exports the quickstart surface.
     "__facade__": {"core", "models"},
+}
+
+# Layers a file may *never* import directly, even when the transitive
+# closure reaches them.  Benches must drive training through the
+# experiments/grid layer rather than re-implementing loops on repro.core
+# (closure still admits core indirectly, via experiments -> core).
+DIRECT_DENY: Dict[str, Set[str]] = {
+    "benchmarks": {"core"},
 }
 
 
@@ -86,22 +106,36 @@ class LayeringRule(Rule):
                  "-> core -> {serving, experiments, cli} layering; cycles "
                  "break import-time kernel registration.")
 
-    def __init__(self, graph: Dict[str, Set[str]] = None):
+    def __init__(self, graph: Dict[str, Set[str]] = None,
+                 direct_deny: Dict[str, Set[str]] = None):
         self.graph = dict(graph or LAYER_GRAPH)
         self.closure = transitive_closure(self.graph)
+        self.direct_deny = dict(DIRECT_DENY if direct_deny is None
+                                else direct_deny)
         self.known = tuple(pkg for pkg in self.graph
                            if not pkg.startswith("__"))
 
     # -- per-file: upward/sideways imports ---------------------------------
     def check(self, file: SourceFile, project: Project) -> Iterable[Violation]:
-        package = file.package
-        if package is None or package not in self.graph:
+        package = self._file_layer(file)
+        if package is None:
             return
         allowed = self.closure[package] | {package}
+        deny = self.direct_deny.get(package, set())
         for target, lineno, _top in repro_imports(
                 file.tree, known_subpackages=self.known):
             target_pkg = self._target_package(target)
-            if target_pkg is None or target_pkg in allowed:
+            if target_pkg is None:
+                continue
+            if target_pkg in deny:
+                yield Violation(
+                    code=self.code, path=str(file.path), line=lineno,
+                    message=(f"layer '{package}' may not import "
+                             f"'{target}' directly (layer '{target_pkg}' "
+                             f"is deny-listed for it; go through "
+                             f"{', '.join(sorted(self.graph[package]))})"))
+                continue
+            if target_pkg in allowed:
                 continue
             yield Violation(
                 code=self.code, path=str(file.path), line=lineno,
@@ -110,13 +144,41 @@ class LayeringRule(Rule):
                          f"{', '.join(sorted(allowed))}"))
         yield from self._cycles_for(file, project)
 
+    def _file_layer(self, file: SourceFile) -> str:
+        """The graph layer a file belongs to (longest dotted match).
+
+        ``repro.experiments.grid.spec`` lands in sub-layer
+        ``experiments.grid``, not plain ``experiments``; files under a
+        ``benchmarks/`` directory (no module name) are attributed to the
+        path-based pseudo-layer.
+        """
+        if file.module is not None and file.module.startswith("repro"):
+            parts = file.module.split(".")
+            if len(parts) == 1:
+                return "__facade__"
+            best = None
+            for end in range(2, len(parts) + 1):
+                candidate = ".".join(parts[1:end])
+                if candidate in self.graph:
+                    best = candidate
+            return best
+        if "benchmarks" in file.path.parts and "benchmarks" in self.graph:
+            return "benchmarks"
+        return None
+
     def _target_package(self, target: str) -> str:
+        """Layer an import target points at (longest dotted match)."""
         parts = target.split(".")
         if parts[0] != "repro":
             return None
         if len(parts) == 1:
             return "__facade__"
-        return parts[1] if parts[1] in self.graph else None
+        best = None
+        for end in range(2, len(parts) + 1):
+            candidate = ".".join(parts[1:end])
+            if candidate in self.graph:
+                best = candidate
+        return best
 
     # -- cross-file: module-level import cycles ----------------------------
     def _cycles_for(self, file: SourceFile,

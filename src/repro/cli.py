@@ -12,6 +12,12 @@ Commands
     Stand an :class:`~repro.serving.InferenceService` up on a saved
     ensemble and drive a request stream at it, optionally under injected
     faults (corrupt archives, flaky/slow members, poisoned requests).
+``grid``
+    Execute a declarative experiment grid from a JSON spec
+    (:class:`~repro.experiments.grid.GridSpec`): expand the factor table
+    into the run table, execute this process's shard (``--shard i/n``)
+    with per-run checkpoint/resume, and — once every run has a manifest
+    entry — write the aggregated ``GRID_<name>.json`` artifact.
 ``lint``
     Run the repo's AST-based invariant checker (rules RL001–RL005:
     import layering, determinism, dtype policy, op-registry contract,
@@ -32,6 +38,11 @@ Examples
     python -m repro.cli beta --scenario c100-resnet
     python -m repro.cli serve-eval --scenario c100-resnet --ensemble e.npz \\
         --requests 32 --inject corrupt:0,flaky:1:every=2 --deadline 0.5
+    python -m repro.cli grid --spec specs/table5.json --out runs/grids
+    python -m repro.cli grid --spec specs/table5.json --out runs/grids \\
+        --shard 1/4 --workers 2 --resume
+    python -m repro.cli grid --spec specs/table5.json --out runs/grids \\
+        --aggregate-only
     python -m repro.cli lint src benchmarks --stats results/lint_stats.json
     python -m repro.cli info
 """
@@ -232,6 +243,109 @@ def _render_health(health) -> str:
     return "\n".join(lines)
 
 
+def _parse_shard(text: str):
+    """Parse ``--shard i/n`` into ``(shard_index, num_shards)``."""
+    try:
+        index, total = text.split("/")
+        index, total = int(index), int(total)
+    except ValueError:
+        raise ValueError(f"--shard must look like 'i/n', got {text!r}")
+    if total < 1 or not 0 <= index < total:
+        raise ValueError(f"--shard index must satisfy 0 <= i < n, got {text}")
+    return index, total
+
+
+def _render_grid_aggregates(result) -> str:
+    """Render a grid's aggregates as one mean ± std row per group."""
+    metric_names = sorted({name for entry in result.aggregates
+                           for name in entry["metrics"]
+                           if name != "similarity_matrix"})
+    group_names = result.spec.group_factors()
+    rows = []
+    for entry in result.aggregates:
+        row = [str(entry["group"].get(name)) for name in group_names]
+        row.append(entry["n"])
+        for name in metric_names:
+            stats = entry["metrics"].get(name)
+            row.append(f"{stats['mean']:.4f} ± {stats['std']:.4f}"
+                       if stats else "—")
+        rows.append(row)
+    return format_table(group_names + ["n"] + metric_names, rows,
+                        title=f"Grid {result.spec.name} "
+                              f"({len(result.records)} runs)")
+
+
+def _cmd_grid(args) -> int:
+    from repro.experiments.grid import (
+        GridExecutor,
+        GridSpec,
+        GridSpecError,
+        GridStateError,
+        collect_records,
+        grid_result,
+        run_grid,
+        write_grid_artifact,
+    )
+
+    try:
+        spec = GridSpec.from_json(args.spec)
+    except GridSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        shard_index, num_shards = _parse_shard(args.shard)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out is None and (num_shards > 1 or args.resume
+                             or args.aggregate_only):
+        print("error: --shard/--resume/--aggregate-only need --out "
+              "(the shared state directory)", file=sys.stderr)
+        return 2
+
+    try:
+        if args.out is None:
+            result = run_grid(spec, workers=args.workers,
+                              artifact_dir=args.results)
+        else:
+            if not args.aggregate_only:
+                executor = GridExecutor(
+                    spec, out_dir=args.out, shard_index=shard_index,
+                    num_shards=num_shards, workers=args.workers,
+                    resume=args.resume)
+                records = executor.execute()
+                failed = [r for r in records if r.status == "failed"]
+                print(f"shard {shard_index}/{num_shards}: "
+                      f"{len(records)} run(s), {len(failed)} failed")
+                for record in failed:
+                    print(f"  failed {record.run_id}: {record.error}",
+                          file=sys.stderr)
+            records, missing = collect_records(spec, args.out)
+            result = grid_result(spec, records, missing)
+            if missing:
+                print(f"grid {spec.name}: {len(records)}/"
+                      f"{len(records) + len(missing)} runs recorded; "
+                      f"waiting for other shards — rerun with "
+                      f"--aggregate-only once they finish")
+                return 0
+            write_grid_artifact(result, directory=args.results)
+    except GridSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except GridStateError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(_render_grid_aggregates(result))
+    artifact = pathlib.Path(args.results) / f"GRID_{spec.name}.json"
+    print(f"aggregate artifact: {artifact}")
+    if not result.complete:
+        for record in result.failures:
+            print(f"failed {record.run_id}: {record.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -354,6 +468,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poison every Nth request with NaNs to "
                             "exercise input validation")
     serve.set_defaults(func=_cmd_serve_eval)
+
+    grid = commands.add_parser(
+        "grid",
+        help="execute a declarative experiment grid from a JSON spec, "
+             "optionally sharded, and aggregate the results")
+    grid.add_argument("--spec", required=True,
+                      help="path to the GridSpec JSON file")
+    grid.add_argument("--out", default=None, metavar="DIR",
+                      help="shared state directory (per-run manifest + "
+                           "checkpoints); omit for a purely in-memory run")
+    grid.add_argument("--shard", default="0/1", metavar="I/N",
+                      help="execute shard I of N (run i belongs to shard "
+                           "i %% N); every shard must use the same --out")
+    grid.add_argument("--workers", type=int, default=1,
+                      help="parallel worker processes for this shard")
+    grid.add_argument("--resume", action="store_true",
+                      help="skip runs with a completed manifest entry and "
+                           "honour per-run round checkpoints")
+    grid.add_argument("--aggregate-only", action="store_true",
+                      help="do not execute; aggregate whatever the shards "
+                           "have recorded in --out")
+    grid.add_argument("--results", default="results", metavar="DIR",
+                      help="directory for the GRID_<name>.json artifact")
+    grid.set_defaults(func=_cmd_grid)
 
     lint = commands.add_parser(
         "lint",

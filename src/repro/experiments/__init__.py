@@ -18,10 +18,11 @@ from repro.experiments.variants import (
 )
 from repro.experiments.replication import (
     ReplicatedResult,
-    compare_replicated,
-    run_replicated,
     significantly_better,
 )
+
+# run_replicated / compare_replicated moved up a layer: they are thin
+# grids now — import them from repro.experiments.grid.
 
 __all__ = [
     "Scenario",
@@ -39,7 +40,5 @@ __all__ = [
     "run_edde_cumulative_weights",
     "run_edde_correlate_previous_model",
     "ReplicatedResult",
-    "run_replicated",
-    "compare_replicated",
     "significantly_better",
 ]

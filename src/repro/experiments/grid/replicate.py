@@ -1,0 +1,62 @@
+"""Multi-seed replication as a thin grid over the ``seed`` factor.
+
+These used to hand-roll their own seed loops in
+``repro.experiments.replication``; they are now the smallest possible
+grids — one method (or several) × the seed list, executed in memory with
+rich results retained — and return the same
+:class:`~repro.experiments.replication.ReplicatedResult` the analysis
+helpers and tests consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.grid.executor import run_grid
+from repro.experiments.grid.runners import scenario_scope
+from repro.experiments.grid.spec import GridSpec
+from repro.experiments.protocol import Scenario
+from repro.experiments.replication import ReplicatedResult
+
+_SCOPE = "replicate-scenario"
+
+
+def _replicate_grid(methods: Sequence[str], seeds: Sequence[int],
+                    overrides: dict) -> GridSpec:
+    return GridSpec(
+        name="replicate",
+        factors={"method": list(methods), "scenario": [_SCOPE],
+                 "seed": list(seeds)},
+        base=dict(overrides),
+        checkpoint=False,
+    )
+
+
+def run_replicated(method: str, scenario: Scenario,
+                   seeds: Sequence[int] = (0, 1, 2),
+                   **overrides) -> ReplicatedResult:
+    """Fit ``method`` once per seed and aggregate final accuracies."""
+    return compare_replicated([method], scenario, seeds=seeds,
+                              **overrides)[method]
+
+
+def compare_replicated(methods: Sequence[str], scenario: Scenario,
+                       seeds: Sequence[int] = (0, 1, 2),
+                       **overrides) -> Dict[str, ReplicatedResult]:
+    """Replicate several methods on one scenario (shared seed list)."""
+    spec = _replicate_grid(methods, seeds, overrides)
+    with scenario_scope(_SCOPE, scenario):
+        grid = run_grid(spec, keep_results=True)
+    replicated = {method: ReplicatedResult(method=method)
+                  for method in methods}
+    for record in grid.records:
+        if record.status != "done":
+            raise RuntimeError(
+                f"replication run {record.run_id} failed: {record.error}")
+        entry = replicated[record.factors["method"]]
+        entry.results.append(record.result)
+        entry.accuracies.append(float(record.metrics["final_accuracy"]))
+        entry.member_averages.append(
+            float(record.metrics["average_member_accuracy"]))
+        entry.method = record.meta.get("method_label", entry.method)
+    return replicated

@@ -1,22 +1,25 @@
-"""Multi-seed replication of experiments.
+"""Multi-seed replication aggregates.
 
 Every accuracy in the paper's tables is a single training run; at the
 scaled-down budgets of this reproduction, single-seed differences of
-±1-2 points are within noise (EXPERIMENTS.md).  These helpers repeat any
-method over several seeds and aggregate mean ± standard deviation, so
+±1-2 points are within noise (EXPERIMENTS.md).  :class:`ReplicatedResult`
+aggregates a method's runs across seeds as mean ± standard deviation, so
 claims like "EDDE beats Snapshot" can be checked with error bars.
+
+The seed loops themselves live one layer up:
+:func:`repro.experiments.grid.run_replicated` and
+:func:`~repro.experiments.grid.compare_replicated` execute the runs as
+declarative grids and return these aggregates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List
 
 import numpy as np
 
 from repro.core.results import FitResult
-from repro.experiments.protocol import Scenario
-from repro.experiments.runner import run_method
 
 
 @dataclass
@@ -34,7 +37,15 @@ class ReplicatedResult:
 
     @property
     def std(self) -> float:
-        return float(np.std(self.accuracies))
+        """Sample standard deviation (``ddof=1``); 0.0 for n < 2.
+
+        The paper-style ``mean ± std`` columns estimate the spread of the
+        seed population, so the sample convention applies; the guard
+        keeps single-seed summaries finite instead of warning-and-NaN.
+        """
+        if len(self.accuracies) < 2:
+            return 0.0
+        return float(np.std(self.accuracies, ddof=1))
 
     @property
     def stderr(self) -> float:
@@ -43,28 +54,6 @@ class ReplicatedResult:
     def summary(self) -> str:
         return (f"{self.method}: {self.mean:.4f} ± {self.std:.4f} "
                 f"(n={len(self.accuracies)})")
-
-
-def run_replicated(method: str, scenario: Scenario,
-                   seeds: Sequence[int] = (0, 1, 2),
-                   **overrides) -> ReplicatedResult:
-    """Fit ``method`` once per seed and aggregate final accuracies."""
-    replicated = ReplicatedResult(method=method)
-    for seed in seeds:
-        result = run_method(method, scenario, rng=seed, **overrides)
-        replicated.results.append(result)
-        replicated.accuracies.append(result.final_accuracy)
-        replicated.member_averages.append(result.average_member_accuracy())
-        replicated.method = result.method
-    return replicated
-
-
-def compare_replicated(methods: Sequence[str], scenario: Scenario,
-                       seeds: Sequence[int] = (0, 1, 2)
-                       ) -> Dict[str, ReplicatedResult]:
-    """Replicate several methods on one scenario (shared seed list)."""
-    return {method: run_replicated(method, scenario, seeds=seeds)
-            for method in methods}
 
 
 def significantly_better(a: ReplicatedResult, b: ReplicatedResult,

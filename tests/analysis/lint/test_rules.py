@@ -72,6 +72,51 @@ class TestLayering:
         with pytest.raises(ValueError, match="cyclic"):
             transitive_closure({"a": {"b"}, "b": {"a"}})
 
+    # -- sub-layers and the benchmarks pseudo-layer (PR 6) -----------------
+
+    def test_grid_sublayer_may_import_core(self, lint_tree):
+        report = lint_tree(
+            {"experiments/grid/exec2.py":
+                ("from repro.core.checkpointing import CheckpointManager\n"
+                 "from repro.analysis import format_table\n"
+                 "from repro.experiments.runner import run_method\n")},
+            [LayeringRule()])
+        assert report.ok
+
+    def test_experiments_importing_grid_sublayer_fires(self, lint_tree):
+        report = lint_tree(
+            {"experiments/runner2.py":
+                "from repro.experiments.grid import GridSpec\n"},
+            [LayeringRule()])
+        assert codes(report) == ["RL001"]
+        assert "layer 'experiments.grid'" in messages(report)[0]
+
+    def test_bench_importing_core_directly_fires(self, lint_tree):
+        report = lint_tree(
+            {"//benchmarks/bench_x.py":
+                "from repro.core import EDDETrainer\n"},
+            [LayeringRule()])
+        assert codes(report) == ["RL001"]
+        assert "deny-listed" in messages(report)[0]
+
+    def test_bench_importing_grid_is_silent(self, lint_tree):
+        report = lint_tree(
+            {"//benchmarks/bench_y.py":
+                ("from repro.experiments.grid import GridSpec, run_grid\n"
+                 "from repro.analysis import format_table\n"
+                 "import repro.data\n")},
+            [LayeringRule()])
+        assert report.ok
+
+    def test_bench_deny_suppression_counts_as_suppressed(self, lint_tree):
+        report = lint_tree(
+            {"//benchmarks/bench_z.py":
+                ("from repro.core.losses import diversity_driven_loss"
+                 "  # repro-lint: disable=RL001 (reference chain)\n")},
+            [LayeringRule()])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
 
 class TestDeterminism:
     BAD = ("import time\n"

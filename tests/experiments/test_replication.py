@@ -3,12 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.experiments import (
-    ReplicatedResult,
-    compare_replicated,
-    run_replicated,
-    significantly_better,
-)
+from repro.experiments import ReplicatedResult, significantly_better
+from repro.experiments.grid import compare_replicated, run_replicated
 from repro.experiments.protocol import Scenario
 
 
@@ -41,6 +37,16 @@ class TestRunReplicated:
         outputs = compare_replicated(("single", "bagging"), tiny_scenario,
                                      seeds=(0,))
         assert set(outputs) == {"single", "bagging"}
+
+
+class TestStd:
+    def test_sample_std_uses_ddof_1(self):
+        accs = [0.7, 0.8, 0.9]
+        result = ReplicatedResult("m", accuracies=accs)
+        assert result.std == pytest.approx(float(np.std(accs, ddof=1)))
+
+    def test_single_seed_std_is_zero(self):
+        assert ReplicatedResult("m", accuracies=[0.8]).std == 0.0
 
 
 class TestSignificance:

@@ -164,3 +164,69 @@ class TestFaultToleranceFlags:
         accuracy = [line for line in first.splitlines()
                     if "ensemble accuracy" in line]
         assert accuracy[0] in second
+
+
+class TestGridCommand:
+    @pytest.fixture(autouse=True)
+    def tiny_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_SIZE", "60")
+        monkeypatch.setenv("REPRO_TEST_SIZE", "30")
+        monkeypatch.setenv("REPRO_SCALE", "0.13")
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli_smoke",
+            "factors": {"method": ["single"], "scenario": ["c10-resnet"],
+                        "seed": [0, 1]},
+            "checkpoint": False,
+        }))
+        return str(path)
+
+    def test_in_memory_grid(self, capsys, spec_path, tmp_path):
+        results = tmp_path / "results"
+        code = main(["grid", "--spec", spec_path,
+                     "--results", str(results)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final_accuracy" in out
+        assert (results / "GRID_cli_smoke.json").is_file()
+
+    def test_sharded_flow(self, capsys, spec_path, tmp_path):
+        out_dir = str(tmp_path / "state")
+        results = tmp_path / "results"
+        args = ["grid", "--spec", spec_path, "--out", out_dir,
+                "--results", str(results)]
+        assert main(args + ["--shard", "0/2"]) == 0
+        assert "waiting for other shards" in capsys.readouterr().out
+        assert not (results / "GRID_cli_smoke.json").is_file()
+        assert main(args + ["--shard", "1/2"]) == 0
+        assert "aggregate artifact" in capsys.readouterr().out
+        assert (results / "GRID_cli_smoke.json").is_file()
+        # state exists now: a re-run without --resume must refuse...
+        assert main(args) == 2
+        assert "resume" in capsys.readouterr().err
+        # ...and --resume just replays the manifests
+        assert main(args + ["--resume"]) == 0
+
+    def test_bad_shard_is_clean_error(self, capsys, spec_path, tmp_path):
+        code = main(["grid", "--spec", spec_path,
+                     "--out", str(tmp_path), "--shard", "two/four"])
+        assert code == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_shard_without_out_rejected(self, capsys, spec_path):
+        code = main(["grid", "--spec", spec_path, "--shard", "0/2"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_malformed_spec_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "factors": {"seed": [0]}, "oops": 1}')
+        code = main(["grid", "--spec", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown spec field" in err
+        assert "Traceback" not in err
