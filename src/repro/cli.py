@@ -302,6 +302,10 @@ def _cmd_grid(args) -> int:
         print("error: --shard/--resume/--aggregate-only need --out "
               "(the shared state directory)", file=sys.stderr)
         return 2
+    if args.out is None and args.workers > 1:
+        print("error: --workers > 1 needs --out (pool workers record "
+              "their runs through the shared manifest)", file=sys.stderr)
+        return 2
 
     try:
         if args.out is None:

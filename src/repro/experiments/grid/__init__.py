@@ -42,6 +42,7 @@ from repro.experiments.grid.reporting import (
 from repro.experiments.grid.runners import (
     RunContext,
     RunOutput,
+    beta_teacher_rng,
     register_runner,
     register_scenario,
     resolve_runner,
@@ -60,7 +61,8 @@ from repro.experiments.grid.spec import (
 __all__ = [
     "GridExecutor", "GridResult", "GridSpec", "GridSpecError",
     "GridStateError", "RunContext", "RunOutput", "RunRecord", "RunSpec",
-    "aggregate_records", "collect_records", "compare_replicated", "emit",
+    "aggregate_records", "beta_teacher_rng", "collect_records",
+    "compare_replicated", "emit",
     "ensure_results_dir", "execute_run", "expand_runs", "find_group",
     "grid_result", "record_fit_result", "register_collector",
     "register_runner", "register_scenario", "resolve_collector",

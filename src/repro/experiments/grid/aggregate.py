@@ -44,6 +44,9 @@ def z_screen(mean_a: float, stderr_a: float,
 
     A coarse two-sample z-style screen, not a formal test — enough to
     separate 'real ordering' from single-seed noise in grid summaries.
+    Callers must have a spread estimate on both sides: with n < 2 the
+    stderr degenerates to 0 and any nonzero difference would pass, so
+    :func:`significance_matrix` omits such pairs instead of calling this.
     """
     spread = math.hypot(stderr_a, stderr_b)
     return bool(mean_a - mean_b > z * spread)
@@ -131,8 +134,10 @@ def significance_matrix(aggregates: List[dict], metric: str,
 
     Groups are re-keyed by every group factor *except* ``versus``; within
     each, all ordered pairs of ``versus`` levels are screened on
-    ``metric``.  Feeds the "significantly better" annotations of the
-    grid artifact.
+    ``metric``.  Pairs where either side has fewer than 2 replications
+    are omitted (one seed gives no spread estimate, so a z-screen would
+    flag any nonzero difference).  Feeds the "significantly better"
+    annotations of the grid artifact.
     """
     buckets: Dict[str, dict] = {}
     order: List[str] = []
@@ -156,6 +161,8 @@ def significance_matrix(aggregates: List[dict], metric: str,
         for a, stats_a in bucket["levels"].items():
             for b, stats_b in bucket["levels"].items():
                 if a == b:
+                    continue
+                if stats_a["n"] < 2 or stats_b["n"] < 2:
                     continue
                 pairs[f"{a}>{b}"] = z_screen(
                     stats_a["mean"], stats_a["stderr"],

@@ -182,13 +182,17 @@ class GridExecutor:
         if out_dir is None and workers > 1:
             raise ValueError("parallel workers need an out_dir for their "
                              "manifest (in-memory grids run serially)")
+        if keep_results and workers > 1:
+            raise ValueError("keep_results needs workers=1: pool workers "
+                             "return JSON payloads, which cannot carry "
+                             "live result objects")
         self.spec = spec
         self.out_dir = pathlib.Path(out_dir) if out_dir is not None else None
         self.shard_index = shard_index
         self.num_shards = num_shards
         self.workers = workers
         self.resume = resume
-        self.keep_results = keep_results and workers == 1
+        self.keep_results = keep_results
         self.runs = spec.expand()
         if self.out_dir is not None:
             self._check_state_dir()
@@ -344,10 +348,17 @@ def run_grid(spec: GridSpec, out_dir=None, num_shards: int = 1,
     checkpoints) — the mode :func:`~repro.experiments.grid.replicate.
     run_replicated` and fast tests use.  With an out directory the grid
     is durable: killing and re-invoking with ``resume=True`` completes
-    the remaining runs.  ``artifact_dir`` additionally writes the
+    the remaining runs.  ``keep_results=True`` retains each run's live
+    result object on its record and therefore requires the in-memory
+    mode — a durable grid re-reads records from the JSON manifest, which
+    cannot carry them.  ``artifact_dir`` additionally writes the
     ``GRID_<name>.json`` aggregate artifact via
     :mod:`~repro.experiments.grid.reporting`.
     """
+    if keep_results and out_dir is not None:
+        raise ValueError("keep_results needs out_dir=None: a durable grid "
+                         "re-reads its records from the JSON manifest, "
+                         "which cannot carry live result objects")
     records: List[RunRecord] = []
     for shard_index in range(num_shards):
         executor = GridExecutor(

@@ -23,7 +23,7 @@ import contextlib
 import pathlib
 import shutil
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -124,22 +124,43 @@ def resolve_scenario(name: str, data_seed: int = 0) -> Scenario:
 # ----------------------------------------------------------------------
 # Per-run RNG derivation.
 
-def _entropy_words(run: RunSpec, salt: str = "") -> list:
-    cell = {name: value for name, value in run.factors if name != "seed"}
+def _entropy_words(run: RunSpec, salt: str = "",
+                   exclude: Sequence[str] = ()) -> list:
+    skip = {"seed", *exclude}
+    cell = {name: value for name, value in run.factors if name not in skip}
     words = [int(stable_digest({"grid": run.grid, "cell": cell,
                                 "salt": salt}, length=8), 16),
              int(run.seed) & 0xFFFFFFFF]
     return words
 
 
-def run_rng(run: RunSpec, salt: str = "") -> np.random.Generator:
+def run_rng(run: RunSpec, salt: str = "",
+            exclude: Sequence[str] = ()) -> np.random.Generator:
     """The run's deterministic generator (shard- and order-independent).
 
-    ``salt`` derives auxiliary streams for a run (e.g. the β-probe's
-    shared teacher, whose stream must *not* depend on the β factor).
+    ``salt`` derives auxiliary streams for a run; ``exclude`` drops the
+    named factors from the stream's cell so runs differing only in those
+    factors share it (e.g. the β-probe's teacher, whose stream must not
+    depend on the ``beta`` factor — see :func:`beta_teacher_rng`).
     """
     return np.random.default_rng(np.random.SeedSequence(
-        _entropy_words(run, salt=salt)))
+        _entropy_words(run, salt=salt, exclude=exclude)))
+
+
+# Factors the beta_probe runner consumes itself (they never reach
+# run_method); the teacher stream is derived from a cell without them.
+BETA_PROBE_CONSUMED = ("beta", "n_folds", "probe_epochs", "teacher_epochs")
+
+
+def beta_teacher_rng(run: RunSpec) -> np.random.Generator:
+    """The β-probe teacher's generator, shared across one (scenario, seed).
+
+    Derived from a cell that excludes every runner-consumed factor
+    (:data:`BETA_PROBE_CONSUMED`), so grid cells differing only in β —
+    or in probe length — retrain a bit-identical teacher on an identical
+    fold split, exactly like the shared teacher of ``run_beta_sweep``.
+    """
+    return run_rng(run, salt="beta-teacher", exclude=BETA_PROBE_CONSUMED)
 
 
 # ----------------------------------------------------------------------
@@ -215,10 +236,10 @@ def beta_probe_runner(run: RunSpec, context: RunContext) -> RunOutput:
                          f"{sorted(overrides)}")
 
     scenario = resolve_scenario(run.scenario, context.spec.data_seed)
-    # The teacher's stream is salted but β-free: every β cell of one
-    # (scenario, seed) group retrains the *same* teacher, exactly like
-    # the shared teacher of run_beta_sweep, yet stays parallelizable.
-    teacher_rng = run_rng(run, salt="beta-teacher")
+    # The teacher's stream is β-free by construction: every β cell of one
+    # (scenario, seed) group retrains the *same* teacher on the same fold
+    # split, exactly like run_beta_sweep, yet stays parallelizable.
+    teacher_rng = beta_teacher_rng(run)
     folds = split_folds(scenario.split.train, n_folds, rng=teacher_rng)
     train_folds, seen_fold, unseen_fold = folds[:-2], folds[-2], folds[-1]
 

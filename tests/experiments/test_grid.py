@@ -21,6 +21,7 @@ from repro.experiments.grid import (
     GridStateError,
     RunOutput,
     aggregate_records,
+    beta_teacher_rng,
     collect_records,
     find_group,
     grid_result,
@@ -214,6 +215,59 @@ class TestRunRng:
         run_s0, run_s1 = toy_spec().expand()[:2]
         assert run_rng(run_s0).random() != run_rng(run_s1).random()
 
+    def test_exclude_drops_factor_from_stream(self):
+        spec = GridSpec(name="g", factors={"scenario": ["s1"],
+                                           "beta": [1.0, 0.5]},
+                        runner="toy", checkpoint=False)
+        run_a, run_b = spec.expand()
+        assert run_rng(run_a).random() != run_rng(run_b).random()
+        assert run_rng(run_a, exclude=("beta",)).random() \
+            == run_rng(run_b, exclude=("beta",)).random()
+
+
+def beta_probe_spec(**kw):
+    defaults = dict(
+        name="beta_grid",
+        factors={"scenario": ["s1", "s2"], "beta": [1.0, 0.5],
+                 "probe_epochs": [2, 3], "seed": [0, 1]},
+        runner="beta_probe", checkpoint=False)
+    defaults.update(kw)
+    return GridSpec(**defaults)
+
+
+class TestBetaTeacherRng:
+    """The Fig. 5 teacher must be bit-identical per (scenario, seed)."""
+
+    def test_teacher_stream_ignores_runner_consumed_factors(self):
+        groups = {}
+        for run in beta_probe_spec().expand():
+            stream = beta_teacher_rng(run).random(4).tobytes()
+            groups.setdefault((run.scenario, run.seed), set()).add(stream)
+        # every β x probe_epochs cell of a group shares one stream...
+        assert all(len(streams) == 1 for streams in groups.values())
+        # ...and distinct (scenario, seed) groups get distinct teachers
+        streams = {streams.pop() for streams in groups.values()}
+        assert len(streams) == len(groups)
+
+    def test_fold_split_identical_across_beta(self, tiny_image_split):
+        from repro.data.folds import split_folds
+        runs = [run for run in beta_probe_spec().expand()
+                if run.scenario == "s1" and run.seed == 0
+                and run.factor_dict["probe_epochs"] == 2]
+        assert len(runs) == 2           # the two β levels
+        splits = [split_folds(tiny_image_split.train, 3,
+                              rng=beta_teacher_rng(run)) for run in runs]
+        for fold_a, fold_b in zip(*splits):
+            np.testing.assert_array_equal(fold_a.x, fold_b.x)
+            np.testing.assert_array_equal(fold_a.y, fold_b.y)
+
+    def test_probe_stream_still_depends_on_beta(self):
+        runs = [run for run in beta_probe_spec().expand()
+                if run.scenario == "s1" and run.seed == 0
+                and run.factor_dict["probe_epochs"] == 2]
+        streams = {run_rng(run, salt="beta-probe").random() for run in runs}
+        assert len(streams) == len(runs)
+
 
 # ----------------------------------------------------------------------
 class TestAggregation:
@@ -255,6 +309,21 @@ class TestAggregation:
         matrix = significance_matrix(aggregates, "final_accuracy")
         assert matrix[0]["pairs"] == {"a>b": True, "b>a": False}
 
+    def test_single_seed_pairs_are_omitted(self):
+        # One replication gives stderr 0, which would flag any nonzero
+        # difference; such pairs must not be screened at all.
+        records = [
+            {"index": 0, "status": "done",
+             "factors": {"method": "a", "seed": 0},
+             "metrics": {"final_accuracy": 0.9}},
+            {"index": 1, "status": "done",
+             "factors": {"method": "b", "seed": 0},
+             "metrics": {"final_accuracy": 0.5}},
+        ]
+        aggregates = aggregate_records(records, group_by=["method"])
+        matrix = significance_matrix(aggregates, "final_accuracy")
+        assert matrix[0]["pairs"] == {}
+
 
 # ----------------------------------------------------------------------
 class TestExecution:
@@ -283,13 +352,20 @@ class TestExecution:
         # seed-0 runs still aggregated
         assert find_group(grid.aggregates, method="a", scenario="s1")["n"] == 1
 
-    def test_executor_validates_arguments(self):
+    def test_executor_validates_arguments(self, tmp_path):
         with pytest.raises(ValueError, match="bad shard"):
             GridExecutor(toy_spec(), shard_index=2, num_shards=2)
         with pytest.raises(ValueError, match="workers"):
             GridExecutor(toy_spec(), workers=0)
         with pytest.raises(ValueError, match="out_dir"):
             GridExecutor(toy_spec(), workers=2)
+        with pytest.raises(ValueError, match="keep_results"):
+            GridExecutor(toy_spec(), out_dir=tmp_path, workers=2,
+                         keep_results=True)
+
+    def test_keep_results_requires_in_memory_grid(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_results"):
+            run_grid(toy_spec(), out_dir=tmp_path, keep_results=True)
 
 
 class TestSharding:

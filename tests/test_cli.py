@@ -222,6 +222,13 @@ class TestGridCommand:
         assert code == 2
         assert "--out" in capsys.readouterr().err
 
+    def test_workers_without_out_rejected(self, capsys, spec_path):
+        code = main(["grid", "--spec", spec_path, "--workers", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--out" in err
+        assert "Traceback" not in err
+
     def test_malformed_spec_is_clean_error(self, capsys, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"name": "x", "factors": {"seed": [0]}, "oops": 1}')
