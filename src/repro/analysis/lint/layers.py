@@ -59,7 +59,15 @@ LAYER_GRAPH: Dict[str, Set[str]] = {
     "baselines": {"core", "utils"},
     "analysis": {"core", "utils"},
     "serving": {"core", "utils"},
-    "experiments": {"baselines", "analysis", "serving", "core", "utils"},
+    # Drift sub-layers (PR 7): the monitor reads served outputs, the
+    # repair loop additionally retrains on buffered data — both sit
+    # strictly above plain ``serving`` (the service must stay importable
+    # without them; it sees the monitor only through duck typing).
+    "serving.monitor": {"serving", "core", "utils"},
+    "serving.repair": {"serving", "serving.monitor", "core", "data",
+                       "models", "utils"},
+    "experiments": {"baselines", "analysis", "serving.repair",
+                    "serving.monitor", "serving", "core", "utils"},
     "experiments.grid": {"experiments", "analysis", "core", "data", "utils"},
     "cli": {"experiments.grid", "experiments", "analysis", "serving", "core",
             "models", "utils"},

@@ -12,6 +12,12 @@ Commands
     Stand an :class:`~repro.serving.InferenceService` up on a saved
     ensemble and drive a request stream at it, optionally under injected
     faults (corrupt archives, flaky/slow members, poisoned requests).
+``serve-drift``
+    Replay a drift schedule through the full online story — drift
+    monitors (:mod:`repro.serving.monitor`), member health scoring and
+    the closed-loop repair subsystem (:mod:`repro.serving.repair`) —
+    and archive ``results/BENCH_drift.json`` with detection latency,
+    pre/drifted/post-repair accuracy and the repair audit trail.
 ``grid``
     Execute a declarative experiment grid from a JSON spec
     (:class:`~repro.experiments.grid.GridSpec`): expand the factor table
@@ -38,6 +44,9 @@ Examples
     python -m repro.cli beta --scenario c100-resnet
     python -m repro.cli serve-eval --scenario c100-resnet --ensemble e.npz \\
         --requests 32 --inject corrupt:0,flaky:1:every=2 --deadline 0.5
+    python -m repro.cli serve-drift --schedule step-moderate --seed 0
+    python -m repro.cli serve-drift --schedule smoke --max-repairs 1 \\
+        --checkpoint-dir runs/drift-repairs
     python -m repro.cli grid --spec specs/table5.json --out runs/grids
     python -m repro.cli grid --spec specs/table5.json --out runs/grids \\
         --shard 1/4 --workers 2 --resume
@@ -223,6 +232,59 @@ def _cmd_serve_eval(args) -> int:
     finally:
         if workdir:
             shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _cmd_serve_drift(args) -> int:
+    import json
+
+    from repro.experiments.drift import (
+        DRIFT_SCHEDULES,
+        DriftReplayConfig,
+        run_drift_replay,
+    )
+    from repro.experiments.grid.reporting import write_json
+
+    schedule = args.schedule
+    if schedule not in DRIFT_SCHEDULES:
+        # Not a preset: accept a JSON schedule payload, inline or a file.
+        try:
+            path = pathlib.Path(schedule)
+            text = path.read_text() if path.is_file() else schedule
+            schedule = json.loads(text)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: --schedule must be a preset "
+                  f"({', '.join(sorted(DRIFT_SCHEDULES))}), a JSON file or "
+                  f"an inline JSON payload: {error}", file=sys.stderr)
+            return 2
+    config = DriftReplayConfig(
+        schedule=schedule, ensemble_size=args.ensemble_size,
+        pretrain_epochs=args.pretrain_epochs, label_delay=args.label_delay,
+        max_repairs=args.max_repairs, checkpoint_dir=args.checkpoint_dir)
+    try:
+        result = run_drift_replay(config, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def pct(value):
+        return percent(value) if value is not None else "—"
+
+    print(f"drift onset:        batch {result.drift_onset}")
+    print(f"detected:           batch {result.detection_batch} "
+          f"(latency {result.detection_latency} batch(es); "
+          f"statistics: {', '.join(result.detection_statistics) or '—'})")
+    print(f"accuracy pre-drift: {pct(result.pre_drift_accuracy)}")
+    print(f"accuracy drifted:   {pct(result.drifted_accuracy)} "
+          "(detection -> first repair)")
+    print(f"accuracy repaired:  {pct(result.post_repair_accuracy)}")
+    print(f"member swaps:       {result.member_swaps} "
+          f"({result.repair_wall_seconds:.2f}s total repair wall-clock)")
+    for event in result.repair_events:
+        print(f"  {event.outcome}: {event.reason}")
+    path = write_json(args.bench_name, result.to_payload(),
+                      directory=args.results)
+    print(f"benchmark artifact: {path}")
+    return 0
 
 
 def _render_health(health) -> str:
@@ -472,6 +534,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poison every Nth request with NaNs to "
                             "exercise input validation")
     serve.set_defaults(func=_cmd_serve_eval)
+
+    drift = commands.add_parser(
+        "serve-drift",
+        help="replay a drift schedule through the online monitor + "
+             "closed-loop ensemble repair stack and archive "
+             "results/BENCH_drift.json")
+    drift.add_argument("--schedule", default="step-moderate",
+                       help="preset name (smoke, step-moderate, "
+                            "step-skewed), a JSON schedule file, or an "
+                            "inline JSON payload")
+    drift.add_argument("--seed", type=int, default=0)
+    drift.add_argument("--ensemble-size", type=int, default=4)
+    drift.add_argument("--pretrain-epochs", type=int, default=6)
+    drift.add_argument("--label-delay", type=int, default=0,
+                       help="batches until a batch's labels reach the "
+                            "monitor and replay buffer")
+    drift.add_argument("--max-repairs", type=int, default=2,
+                       help="accepted member swaps before the loop stops "
+                            "repairing")
+    drift.add_argument("--checkpoint-dir", default=None,
+                       help="snapshot the repaired ensemble here after "
+                            "every accepted swap")
+    drift.add_argument("--results", default="results", metavar="DIR",
+                       help="directory for the benchmark artifact")
+    drift.add_argument("--bench-name", default="BENCH_drift",
+                       help="artifact basename (BENCH_drift -> "
+                            "BENCH_drift.json)")
+    drift.set_defaults(func=_cmd_serve_drift)
 
     grid = commands.add_parser(
         "grid",

@@ -192,12 +192,40 @@ class CheckpointManager(Callback):
             if engine.rng is not None else None,
             "method": engine.result.method,
         }
-        payload["__engine_state__"] = np.array(json.dumps(state))
+        return self._write_round(completed, payload, state,
+                                 engine.result.method)
 
+    def snapshot_ensemble(self, ensemble: Ensemble, round_index: int,
+                          method: str = "repair",
+                          metadata: Optional[dict] = None) -> pathlib.Path:
+        """Checkpoint a bare ensemble outside any engine fit.
+
+        The live-repair loop (:mod:`repro.serving.repair`) snapshots the
+        ensemble after every accepted member swap; the archive uses the
+        exact engine-checkpoint layout (same atomic write, manifest and
+        ``keep_last`` retention), so :meth:`load` restores it with the
+        usual :class:`ModelFactory` and ``metadata`` carries the repair
+        provenance.
+        """
+        state = {
+            "round": int(round_index),
+            "cumulative_epochs": 0,
+            "members": [],
+            "curve": [],
+            "metadata": _jsonable(metadata or {}),
+            "rng_state": None,
+            "method": method,
+        }
+        return self._write_round(int(round_index), ensemble_payload(ensemble),
+                                 state, method)
+
+    def _write_round(self, completed: int, payload: Dict[str, np.ndarray],
+                     state: dict, method: str) -> pathlib.Path:
+        payload["__engine_state__"] = np.array(json.dumps(state))
         self.directory.mkdir(parents=True, exist_ok=True)
         path = atomic_savez(self.directory / f"round_{completed:04d}.npz",
                             payload)
-        self._update_manifest(completed, path.name, engine.result.method)
+        self._update_manifest(completed, path.name, method)
         return path
 
     def _update_manifest(self, completed: int, filename: str,

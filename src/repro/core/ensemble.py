@@ -28,20 +28,56 @@ class Ensemble:
     def __init__(self) -> None:
         self.models: List[Module] = []
         self.alphas: List[float] = []
+        #: Bumped on every membership mutation (``add`` / ``replace_member``).
+        #: Anything that caches member outputs keyed on this ensemble — the
+        #: engine's ``PredictionCache``, a serving-side memo — must compare
+        #: the version it cached under and drop its state on mismatch.
+        self.membership_version: int = 0
 
     def __len__(self) -> int:
         return len(self.models)
 
+    @staticmethod
+    def _check_alpha(alpha: float) -> float:
+        alpha = float(alpha)
+        if not np.isfinite(alpha) or alpha <= 0:
+            raise ValueError(
+                f"alpha must be positive and finite, got {alpha}; a "
+                "non-positive alpha means the base model is worse than "
+                "chance and should be discarded"
+            )
+        return alpha
+
     def add(self, model: Module, alpha: float = 1.0) -> None:
         """Add a fitted base model with ensemble weight ``alpha``."""
-        if alpha <= 0:
-            raise ValueError(
-                f"alpha must be positive, got {alpha}; a non-positive alpha "
-                "means the base model is worse than chance and should be discarded"
-            )
+        alpha = self._check_alpha(alpha)
         model.eval()
         self.models.append(model)
-        self.alphas.append(float(alpha))
+        self.alphas.append(alpha)
+        self.membership_version += 1
+
+    def replace_member(self, index: int, model: Module, alpha: float) -> Module:
+        """Atomically swap member ``index`` for ``model`` with weight ``alpha``.
+
+        The live-repair path (:mod:`repro.serving.repair`): the weighted
+        average of Eq. 16 renormalises by ``Σ α``, so the swapped ensemble
+        is immediately a proper vote — no further bookkeeping.  Validation
+        happens *before* any state changes, so a rejected swap leaves the
+        ensemble untouched; on success ``membership_version`` is bumped,
+        invalidating any cached member outputs keyed on it.  Returns the
+        retired model so callers can keep it for rollback.
+        """
+        alpha = self._check_alpha(alpha)
+        if not -len(self.models) <= index < len(self.models):
+            raise IndexError(
+                f"member index {index} out of range for {len(self.models)} "
+                "member(s)")
+        model.eval()
+        retired = self.models[index]
+        self.models[index] = model
+        self.alphas[index] = alpha
+        self.membership_version += 1
+        return retired
 
     def member_probs(self, x: np.ndarray, batch_size: int = 256) -> List[np.ndarray]:
         """Softmax outputs of each base model (the ``h_t(x)`` soft targets)."""

@@ -1,12 +1,21 @@
 """Datasets, loaders, synthetic generators, augmentation and fold splits."""
 
 from repro.data.dataset import Dataset, TrainTestSplit
+from repro.data.drift import (
+    DriftBatch,
+    DriftPhase,
+    DriftSchedule,
+    DriftStream,
+    make_drift_stream,
+)
 from repro.data.loader import DataLoader, bootstrap_sample, weighted_sample
 from repro.data.synthetic_images import (
     ImageConfig,
+    build_prototypes,
     make_cifar10_like,
     make_cifar100_like,
     make_image_dataset,
+    rotate_prototypes,
 )
 from repro.data.synthetic_text import (
     TextConfig,
@@ -23,8 +32,15 @@ __all__ = [
     "DataLoader",
     "bootstrap_sample",
     "weighted_sample",
+    "DriftBatch",
+    "DriftPhase",
+    "DriftSchedule",
+    "DriftStream",
+    "make_drift_stream",
     "ImageConfig",
     "TextConfig",
+    "build_prototypes",
+    "rotate_prototypes",
     "make_image_dataset",
     "make_cifar10_like",
     "make_cifar100_like",

@@ -23,6 +23,7 @@ datasets (10 vs 100 classes; the 100-class variant is harder).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -82,51 +83,15 @@ def _make_prototype(size: int, channels: int, rng: np.random.Generator) -> np.nd
     return proto
 
 
-def _jitter(image: np.ndarray, amount: int, rng: np.random.Generator) -> np.ndarray:
-    """Randomly translate the image by up to ``amount`` pixels (zero fill)."""
-    if amount <= 0:
-        return image
-    dy, dx = rng.integers(-amount, amount + 1, size=2)
-    shifted = np.zeros_like(image)
-    size = image.shape[-1]
-    src_y = slice(max(0, -dy), min(size, size - dy))
-    dst_y = slice(max(0, dy), min(size, size + dy))
-    src_x = slice(max(0, -dx), min(size, size - dx))
-    dst_x = slice(max(0, dx), min(size, size + dx))
-    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
-    return shifted
+def build_prototypes(config: ImageConfig,
+                     rng: np.random.Generator) -> np.ndarray:
+    """The class prototype bank: shape ``(classes, protos, C, H, W)``.
 
-
-def _sample_images(prototypes: np.ndarray, labels: np.ndarray,
-                   config: ImageConfig, rng: np.random.Generator) -> np.ndarray:
-    """Render one image per label by perturbing a class prototype."""
-    count = len(labels)
-    num_protos = config.prototypes_per_class
-    # Generation runs at Generator-native float64 (see make_image_dataset:
-    # features are cast to the default dtype only on delivery).
-    images = np.empty((count, config.channels, config.image_size, config.image_size),
-                      dtype=np.float64)
-    proto_choice = rng.integers(0, num_protos, size=count)
-    for i, label in enumerate(labels):
-        image = prototypes[label, proto_choice[i]].copy()
-        if rng.random() < config.mix_prob:
-            other = prototypes[label, rng.integers(0, num_protos)]
-            blend = rng.uniform(0.2, 0.5)
-            image = (1 - blend) * image + blend * other
-        image = _jitter(image, config.jitter, rng)
-        if rng.random() < config.occlusion_prob:
-            size = config.image_size
-            w = rng.integers(2, max(3, size // 3))
-            oy, ox = rng.integers(0, size - w, size=2)
-            image[:, oy:oy + w, ox:ox + w] = 0.0
-        images[i] = image
-    images += rng.normal(0.0, config.noise_std, size=images.shape)
-    return images
-
-
-def make_image_dataset(config: ImageConfig, rng: RngLike = None) -> TrainTestSplit:
-    """Generate a train/test split from an :class:`ImageConfig`."""
-    rng = new_rng(rng)
+    Shared by :func:`make_image_dataset` and the drift streams in
+    :mod:`repro.data.drift`, which perturb this bank over time instead of
+    resampling it (covariate drift moves the class-conditional input
+    distribution while the label semantics stay fixed).
+    """
     if config.superclasses > 0:
         # Fine-grained regime (CIFAR-100-like): classes are small
         # perturbations of shared superclass prototypes, so sibling classes
@@ -143,13 +108,78 @@ def make_image_dataset(config: ImageConfig, rng: RngLike = None) -> TrainTestSpl
                 for _ in range(config.prototypes_per_class)
             ])
             prototypes.append(base + config.class_distinctness * delta)
-        prototypes = np.stack(prototypes)
-    else:
-        prototypes = np.stack([
-            np.stack([_make_prototype(config.image_size, config.channels, rng)
-                      for _ in range(config.prototypes_per_class)])
-            for _ in range(config.num_classes)
-        ])
+        return np.stack(prototypes)
+    return np.stack([
+        np.stack([_make_prototype(config.image_size, config.channels, rng)
+                  for _ in range(config.prototypes_per_class)])
+        for _ in range(config.num_classes)
+    ])
+
+
+def rotate_prototypes(prototypes: np.ndarray,
+                      quarter_turns: int = 1) -> np.ndarray:
+    """Rotate every prototype by ``quarter_turns`` × 90° in the image plane.
+
+    The covariate-drift target of :class:`repro.data.drift.DriftStream`:
+    a rotated prototype keeps its class identity and texture statistics
+    but moves every spatial feature, so models trained pre-drift degrade
+    smoothly as the stream blends toward the rotated bank.
+    """
+    return np.rot90(prototypes, k=quarter_turns, axes=(-2, -1)).copy()
+
+
+def _jitter(image: np.ndarray, amount: int, rng: np.random.Generator) -> np.ndarray:
+    """Randomly translate the image by up to ``amount`` pixels (zero fill)."""
+    if amount <= 0:
+        return image
+    dy, dx = rng.integers(-amount, amount + 1, size=2)
+    shifted = np.zeros_like(image)
+    size = image.shape[-1]
+    src_y = slice(max(0, -dy), min(size, size - dy))
+    dst_y = slice(max(0, dy), min(size, size + dy))
+    src_x = slice(max(0, -dx), min(size, size - dx))
+    dst_x = slice(max(0, dx), min(size, size + dx))
+    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+    return shifted
+
+
+def _sample_images(prototypes: np.ndarray, labels: np.ndarray,
+                   config: ImageConfig, rng: np.random.Generator,
+                   jitter: Optional[int] = None) -> np.ndarray:
+    """Render one image per label by perturbing a class prototype.
+
+    ``jitter`` overrides ``config.jitter`` (drift schedules ramp the
+    jitter amplitude over time without rebuilding the config).
+    """
+    count = len(labels)
+    num_protos = config.prototypes_per_class
+    jitter = config.jitter if jitter is None else int(jitter)
+    # Generation runs at Generator-native float64 (see make_image_dataset:
+    # features are cast to the default dtype only on delivery).
+    images = np.empty((count, config.channels, config.image_size, config.image_size),
+                      dtype=np.float64)
+    proto_choice = rng.integers(0, num_protos, size=count)
+    for i, label in enumerate(labels):
+        image = prototypes[label, proto_choice[i]].copy()
+        if rng.random() < config.mix_prob:
+            other = prototypes[label, rng.integers(0, num_protos)]
+            blend = rng.uniform(0.2, 0.5)
+            image = (1 - blend) * image + blend * other
+        image = _jitter(image, jitter, rng)
+        if rng.random() < config.occlusion_prob:
+            size = config.image_size
+            w = rng.integers(2, max(3, size // 3))
+            oy, ox = rng.integers(0, size - w, size=2)
+            image[:, oy:oy + w, ox:ox + w] = 0.0
+        images[i] = image
+    images += rng.normal(0.0, config.noise_std, size=images.shape)
+    return images
+
+
+def make_image_dataset(config: ImageConfig, rng: RngLike = None) -> TrainTestSplit:
+    """Generate a train/test split from an :class:`ImageConfig`."""
+    rng = new_rng(rng)
+    prototypes = build_prototypes(config, rng)
 
     def balanced_labels(total: int) -> np.ndarray:
         labels = np.arange(total) % config.num_classes

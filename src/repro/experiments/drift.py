@@ -1,0 +1,267 @@
+"""The drift-serving replay driver: schedule in, repair story out.
+
+Wires the whole drift stack together — a
+:class:`~repro.data.drift.DriftStream`, an ensemble pre-trained on the
+stream's stationary baseline, an
+:class:`~repro.serving.service.InferenceService` exposing per-member
+outputs, a :class:`~repro.serving.monitor.DriftMonitor` and a
+:class:`~repro.serving.repair.RepairLoop` — and replays the schedule
+batch by batch under a :class:`~repro.serving.faults.ManualClock` driven
+by the stream's own timestamps.  The replay is a pure function of
+``(config, seed)``: same schedule + same seed → bit-identical
+predictions, alarms, repairs and metrics.
+
+The result quantifies the closed loop's three claims:
+
+* **Detection** — first-alarm batch index and its latency behind the
+  schedule's drift onset;
+* **Degradation** — served accuracy before drift, under drift
+  (pre-repair), and after the last accepted repair;
+* **Repair cost** — wall-clock seconds per repair cycle and the
+  accept/rollback audit trail.
+
+``repro serve-drift`` turns :func:`run_drift_replay` into
+``results/BENCH_drift.json``; the registered ``serve_drift`` grid runner
+makes drift replays declarable grid cells (schedules are JSON payloads
+or named presets, so a schedule literal is a legal factor level).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.data.drift import DriftSchedule, DriftStream
+from repro.data.synthetic_images import ImageConfig
+from repro.core.checkpointing import CheckpointManager
+from repro.core.ensemble import Ensemble
+from repro.core.trainer import TrainingConfig, train_model
+from repro.models.factory import ModelFactory
+from repro.models.mlp import MLP
+from repro.serving.faults import ManualClock
+from repro.serving.monitor import DriftMonitor, MonitorConfig
+from repro.serving.repair import RepairConfig, RepairEvent, RepairLoop
+from repro.serving.service import InferenceService, ServiceConfig
+
+__all__ = [
+    "DRIFT_SCHEDULES",
+    "DriftReplayConfig",
+    "DriftReplayResult",
+    "run_drift_replay",
+]
+
+#: Named schedule presets (grid factor levels, CLI ``--schedule``).
+DRIFT_SCHEDULES: Dict[str, DriftSchedule] = {
+    # Tight enough for CI: detection + one repair cycle in seconds.
+    "smoke": DriftSchedule.step(pre_batches=16, drift_batches=28,
+                                covariate=0.85, batch_size=24),
+    # The benchmark schedule: longer stationary calibration, moderate
+    # drift, a drifted tail long enough to measure post-repair serving.
+    "step-moderate": DriftSchedule.step(pre_batches=24, drift_batches=40,
+                                        covariate=0.8, batch_size=32),
+    # Covariate + label drift combined.
+    "step-skewed": DriftSchedule(phases=[
+        {"batches": 24},
+        {"batches": 40, "covariate": 0.8, "label_skew": 1.0},
+    ], batch_size=32),
+}
+
+
+def resolve_schedule(schedule: Union[str, dict, DriftSchedule],
+                     ) -> DriftSchedule:
+    """A preset name, a JSON payload, or the schedule itself."""
+    if isinstance(schedule, DriftSchedule):
+        return schedule
+    if isinstance(schedule, str):
+        if schedule not in DRIFT_SCHEDULES:
+            raise ValueError(f"unknown drift schedule {schedule!r}; "
+                             f"presets: {', '.join(sorted(DRIFT_SCHEDULES))}")
+        return DRIFT_SCHEDULES[schedule]
+    return DriftSchedule.from_payload(schedule)
+
+
+@dataclass
+class DriftReplayConfig:
+    """Everything one drift replay needs besides the seed."""
+
+    schedule: Union[str, dict, DriftSchedule] = "step-moderate"
+    image: ImageConfig = field(default_factory=lambda: ImageConfig(
+        num_classes=6, image_size=8, prototypes_per_class=2,
+        noise_std=0.35, jitter=1, occlusion_prob=0.2, mix_prob=0.1,
+        label_noise=0.0, name="drift-serving"))
+    ensemble_size: int = 4
+    baseline_size: int = 480      # stationary pre-training samples
+    pretrain_epochs: int = 6
+    lr: float = 0.05
+    batch_size: int = 32
+    hidden: tuple = (48,)
+    label_delay: int = 0          # batches until a batch's labels arrive
+    max_repairs: int = 2
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    repair: RepairConfig = field(default_factory=lambda: RepairConfig(
+        min_buffer_batches=8, train_epochs=6, lr=0.05))
+    checkpoint_dir: Optional[str] = None
+
+
+@dataclass
+class DriftReplayResult:
+    """The replay's full story, JSON-able for benchmarks and grids."""
+
+    schedule: dict
+    seed: int
+    drift_onset: Optional[int]
+    detection_batch: Optional[int]
+    detection_latency: Optional[int]       # batches past the onset
+    detection_statistics: List[str]
+    pre_drift_accuracy: Optional[float]
+    drifted_accuracy: Optional[float]      # drift onset -> first repair
+    post_repair_accuracy: Optional[float]  # after the last accepted swap
+    final_alpha_mass: float
+    member_swaps: int
+    repair_events: List[RepairEvent]
+    accuracy_curve: List[float]
+    repair_wall_seconds: float
+
+    @property
+    def recovered(self) -> Optional[float]:
+        """Post-repair accuracy gain over the drifted trough."""
+        if self.post_repair_accuracy is None or \
+                self.drifted_accuracy is None:
+            return None
+        return self.post_repair_accuracy - self.drifted_accuracy
+
+    def to_payload(self) -> dict:
+        events = []
+        for event in self.repair_events:
+            events.append({
+                "outcome": event.outcome,
+                "reason": event.reason,
+                "worst_member": event.worst_member,
+                "teacher_member": event.teacher_member,
+                "beta": event.beta,
+                "pre_accuracy": event.pre_accuracy,
+                "candidate_accuracy": event.candidate_accuracy,
+                "post_accuracy": event.post_accuracy,
+                "wall_seconds": event.wall_seconds,
+                "checkpoint": event.checkpoint,
+            })
+        return {
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "drift_onset": self.drift_onset,
+            "detection_batch": self.detection_batch,
+            "detection_latency": self.detection_latency,
+            "detection_statistics": self.detection_statistics,
+            "pre_drift_accuracy": self.pre_drift_accuracy,
+            "drifted_accuracy": self.drifted_accuracy,
+            "post_repair_accuracy": self.post_repair_accuracy,
+            "recovered": self.recovered,
+            "final_alpha_mass": self.final_alpha_mass,
+            "member_swaps": self.member_swaps,
+            "repair_events": events,
+            "accuracy_curve": self.accuracy_curve,
+            "repair_wall_seconds": self.repair_wall_seconds,
+        }
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return float(np.mean(values)) if values else None
+
+
+def run_drift_replay(config: Optional[DriftReplayConfig] = None,
+                     seed: int = 0) -> DriftReplayResult:
+    """Replay ``config.schedule`` through the full detect→repair loop."""
+    config = config or DriftReplayConfig()
+    schedule = resolve_schedule(config.schedule)
+    # Independent named streams: the stream's draws must not depend on
+    # how many members we pre-train, nor training on the schedule shape.
+    entropy = np.random.SeedSequence([0x00D21F7, int(seed) & 0xFFFFFFFF])
+    stream_seq, train_seq, repair_seq = entropy.spawn(3)
+    stream = DriftStream(config.image, schedule,
+                         rng=np.random.default_rng(stream_seq))
+    baseline = stream.baseline_dataset(config.baseline_size)
+
+    image = config.image
+    factory = ModelFactory(
+        MLP, input_dim=image.channels * image.image_size * image.image_size,
+        num_classes=image.num_classes, hidden=tuple(config.hidden))
+
+    train_rng = np.random.default_rng(train_seq)
+    ensemble = Ensemble()
+    training = TrainingConfig(epochs=config.pretrain_epochs, lr=config.lr,
+                              batch_size=config.batch_size,
+                              schedule="constant")
+    for _ in range(config.ensemble_size):
+        model = factory.build(rng=train_rng)
+        train_model(model, baseline, training, rng=train_rng)
+        ensemble.add(model, alpha=1.0)
+
+    clock = ManualClock()
+    service = InferenceService(ensemble, config=ServiceConfig(
+        expose_member_probs=True, clock=clock,
+        batch_size=max(config.batch_size, schedule.batch_size)))
+    monitor = DriftMonitor(config.monitor, clock=clock)
+    checkpoints = CheckpointManager(config.checkpoint_dir) \
+        if config.checkpoint_dir else None
+    loop = RepairLoop(service, monitor, factory, config=config.repair,
+                      rng=np.random.default_rng(repair_seq),
+                      checkpoints=checkpoints)
+
+    onset = schedule.drift_onset()
+    detection_batch = None
+    detection_statistics: List[str] = []
+    first_repair_batch = None
+    last_repair_batch = None
+    curve: List[float] = []
+    pending = deque()
+    for batch in stream:
+        clock.advance(batch.timestamp - clock())
+        prediction = service.predict(batch.x)
+        curve.append(float((prediction.labels == batch.y).mean()))
+        pending.append((prediction, batch))
+        if len(pending) <= config.label_delay:
+            continue
+        seen, labelled = pending.popleft()
+        monitor.observe(seen, labels=labelled.y,
+                        timestamp=labelled.timestamp)
+        loop.buffer.append(labelled.x, labelled.y)
+        if detection_batch is None and monitor.first_alarm is not None:
+            detection_batch = labelled.index
+            detection_statistics = sorted(
+                name for name, on in monitor.first_alarm.alarms.items()
+                if on)
+        if loop.repairs >= config.max_repairs:
+            continue
+        event = loop.maybe_repair()
+        if event is not None and event.outcome == "repaired":
+            if first_repair_batch is None:
+                first_repair_batch = batch.index
+            last_repair_batch = batch.index
+
+    pre = curve[:onset] if onset is not None else curve
+    drift_end = first_repair_batch if first_repair_batch is not None \
+        else len(curve)
+    drifted = curve[onset:drift_end] if onset is not None else []
+    post = curve[last_repair_batch + 1:] \
+        if last_repair_batch is not None else []
+    return DriftReplayResult(
+        schedule=schedule.to_payload(),
+        seed=int(seed),
+        drift_onset=onset,
+        detection_batch=detection_batch,
+        detection_latency=None if detection_batch is None or onset is None
+        else max(0, detection_batch - onset),
+        detection_statistics=detection_statistics,
+        pre_drift_accuracy=_mean(pre),
+        drifted_accuracy=_mean(drifted),
+        post_repair_accuracy=_mean(post),
+        final_alpha_mass=service.health().effective_alpha_mass,
+        member_swaps=service.health().member_swaps,
+        repair_events=loop.events,
+        accuracy_curve=curve,
+        repair_wall_seconds=float(sum(event.wall_seconds
+                                      for event in loop.events)),
+    )

@@ -268,6 +268,58 @@ def beta_probe_runner(run: RunSpec, context: RunContext) -> RunOutput:
 
 
 # ----------------------------------------------------------------------
+# Drift-aware serving: replay a drift schedule through the closed
+# detect -> repair loop (repro.experiments.drift), one replay per cell.
+
+#: DriftReplayConfig fields a grid cell may override.
+SERVE_DRIFT_OVERRIDES = (
+    "ensemble_size", "baseline_size", "pretrain_epochs", "lr",
+    "batch_size", "label_delay", "max_repairs",
+)
+
+
+def serve_drift_runner(run: RunSpec, context: RunContext) -> RunOutput:
+    """One drift replay per cell: schedule in, repair metrics out.
+
+    The schedule comes from (in precedence order) a ``schedule``
+    override/factor — a preset name or a JSON schedule payload — or the
+    run's ``scenario`` when it names a preset, so drift scenarios ride
+    the ordinary scenario axis of a grid.
+    """
+    from repro.experiments.drift import (
+        DRIFT_SCHEDULES,
+        DriftReplayConfig,
+        run_drift_replay,
+    )
+
+    overrides = run.override_dict
+    schedule = overrides.pop("schedule",
+                             run.factor_dict.get("schedule", None))
+    if schedule is None:
+        if run.scenario not in DRIFT_SCHEDULES:
+            raise ValueError(
+                f"run {run.run_id} declares no drift schedule: set a "
+                f"'schedule' factor or use a preset scenario name "
+                f"({', '.join(sorted(DRIFT_SCHEDULES))})")
+        schedule = run.scenario
+    kwargs = {name: overrides.pop(name)
+              for name in SERVE_DRIFT_OVERRIDES if name in overrides}
+    if overrides:
+        raise ValueError(f"serve_drift runner got unknown overrides: "
+                         f"{sorted(overrides)}")
+    result = run_drift_replay(DriftReplayConfig(schedule=schedule, **kwargs),
+                              seed=run.seed)
+    payload = result.to_payload()
+    meta = {"schedule": payload.pop("schedule"),
+            "repair_events": payload.pop("repair_events"),
+            "accuracy_curve": payload.pop("accuracy_curve"),
+            "detection_statistics": payload.pop("detection_statistics")}
+    payload.pop("seed")
+    return RunOutput(metrics=payload, meta=meta,
+                     result=result if context.keep_result else None)
+
+
+# ----------------------------------------------------------------------
 # Beyond-paper EDDE variants (Table VI, REPRO_EXTENDED_ABLATION=1).
 
 def _variant_runner(variant_fn) -> RunnerFn:
@@ -283,6 +335,7 @@ def _variant_runner(variant_fn) -> RunnerFn:
 
 register_runner("method", method_runner)
 register_runner("beta_probe", beta_probe_runner)
+register_runner("serve_drift", serve_drift_runner)
 register_runner("edde_cumulative_weights",
                 _variant_runner(run_edde_cumulative_weights))
 register_runner("edde_correlate_previous_model",

@@ -48,11 +48,17 @@ class CircuitBreaker:
         self.cooldown = float(cooldown)
         self.clock = clock
         self.state = CLOSED
+        self.state_since = self.clock()
         self.consecutive_faults = 0
         self.total_faults = 0
         self.total_calls = 0
         self.opened_at: Optional[float] = None
         self.last_fault_reason: Optional[str] = None
+
+    def _set_state(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.state_since = self.clock()
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -61,7 +67,7 @@ class CircuitBreaker:
             return True
         if self.state == OPEN:
             if self.clock() - self.opened_at >= self.cooldown:
-                self.state = HALF_OPEN
+                self._set_state(HALF_OPEN)
                 return True
             return False
         # HALF_OPEN: a probe was already admitted and has not reported
@@ -74,7 +80,7 @@ class CircuitBreaker:
         self.consecutive_faults = 0
         if self.state in (HALF_OPEN, OPEN):
             self.opened_at = None
-        self.state = CLOSED
+        self._set_state(CLOSED)
 
     def record_fault(self, reason: str) -> None:
         self.total_calls += 1
@@ -83,8 +89,30 @@ class CircuitBreaker:
         self.last_fault_reason = reason
         if self.state == HALF_OPEN or \
                 self.consecutive_faults >= self.fault_threshold:
-            self.state = OPEN
+            self._set_state(OPEN)
             self.opened_at = self.clock()
+
+    # -- administrative transitions (the repair loop) ------------------
+    def trip(self, reason: str) -> None:
+        """Force the breaker OPEN regardless of the fault counter.
+
+        The repair loop quarantines a drift-degraded member this way: the
+        member is not *faulting* (its forward passes succeed), it is
+        *wrong*, which the consecutive-fault path cannot see.  The member
+        stays excluded until ``cooldown`` elapses or :meth:`reinstate`
+        restores it.
+        """
+        self.last_fault_reason = reason
+        self.consecutive_faults = max(self.consecutive_faults,
+                                      self.fault_threshold)
+        self._set_state(OPEN)
+        self.opened_at = self.clock()
+
+    def reinstate(self) -> None:
+        """Force the breaker CLOSED (rollback of an administrative trip)."""
+        self.consecutive_faults = 0
+        self.opened_at = None
+        self._set_state(CLOSED)
 
     # ------------------------------------------------------------------
     @property
@@ -92,6 +120,10 @@ class CircuitBreaker:
         """True while the member is excluded (cooldown not yet expired)."""
         return self.state == OPEN and \
             self.clock() - self.opened_at < self.cooldown
+
+    def state_age(self) -> float:
+        """Seconds spent in the current state (health reporting)."""
+        return self.clock() - self.state_since
 
     def describe(self) -> str:
         if self.state == CLOSED:

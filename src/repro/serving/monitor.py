@@ -1,0 +1,320 @@
+"""Online drift monitors over the served prediction stream.
+
+Distribution drift is invisible to the fault machinery in
+:mod:`repro.serving.service`: a drift-degraded member still returns
+finite, well-shaped probabilities, so no breaker ever trips.  What drift
+*does* move is the statistics of the outputs themselves, and the paper's
+own quantities are the right instruments:
+
+* **Ensemble disagreement** (Eq. 7, ``Div_H``) — mean pairwise Eq. 2
+  diversity across the member softmax outputs of each batch.  Members
+  that agreed on the training distribution disagree on a shifted one, so
+  covariate drift pushes this *up*.
+* **Member deviation** (the Sim dual) — each member's Eq. 2 distance
+  from the α-weighted aggregate.  Its per-member rolling mean is the
+  member-health score the repair loop ranks by: the member that drifted
+  furthest from the consensus is the repair candidate.
+* **ECE** — expected calibration error of the aggregate on batches whose
+  labels have arrived; drift makes confident predictions wrong before it
+  makes accuracy collapse.
+* **Delayed-label accuracy** — ground truth, once labels arrive.
+
+Each statistic drives a one-sided :class:`CusumDetector`: the first
+``warmup`` observations calibrate a reference mean/std, after which
+``S ← max(0, S + z − k)`` accumulates standardised drift evidence and
+alarms at ``S ≥ h``.  CUSUM reacts to sustained small shifts far sooner
+than a fixed threshold, and the (k, h) pair bounds the false-alarm rate
+under the calibrated distribution.
+
+Timestamps come from the observed batches (or an injectable ``clock``),
+so a schedule replayed under a
+:class:`~repro.serving.faults.ManualClock` produces bit-identical monitor
+state — detection latency is a deterministic, testable number.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.diversity import ensemble_diversity, pairwise_diversity
+from repro.serving.service import ServedPrediction
+
+__all__ = [
+    "BatchStats",
+    "CusumDetector",
+    "DriftMonitor",
+    "MonitorConfig",
+    "expected_calibration_error",
+]
+
+
+def expected_calibration_error(probs: np.ndarray, labels: np.ndarray,
+                               bins: int = 10) -> float:
+    """ECE: confidence-binned ``Σ (n_b/N)·|acc_b − conf_b|``."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels)
+    if probs.ndim != 2 or len(probs) != len(labels):
+        raise ValueError(
+            f"need (N, k) probs and N labels, got {probs.shape} "
+            f"and {labels.shape}")
+    if len(labels) == 0:
+        raise ValueError("ECE of an empty batch is undefined")
+    confidence = probs.max(axis=1)
+    correct = (probs.argmax(axis=1) == labels).astype(np.float64)
+    # Monitoring statistics stay at float64 regardless of the model
+    # dtype policy: bin edges are thresholds, not tensor data.
+    edges = np.linspace(0.0, 1.0, bins + 1, dtype=np.float64)
+    # Right-closed bins; confidence 0 lands in the first bin.
+    which = np.clip(np.digitize(confidence, edges[1:-1], right=True), 0,
+                    bins - 1)
+    ece = 0.0
+    for b in range(bins):
+        mask = which == b
+        count = int(mask.sum())
+        if count:
+            gap = abs(correct[mask].mean() - confidence[mask].mean())
+            ece += (count / len(labels)) * gap
+    return float(ece)
+
+
+class CusumDetector:
+    """One-sided CUSUM with a self-calibrated reference window.
+
+    The first ``warmup`` observations define the in-control mean/std;
+    each later value is standardised (``direction`` +1 watches upward
+    shifts, −1 downward) and accumulated as ``S ← max(0, S + z − k)``.
+    ``S ≥ h`` latches the alarm until :meth:`reset`.
+    """
+
+    def __init__(self, warmup: int = 10, k: float = 0.5, h: float = 5.0,
+                 direction: int = 1, min_std: float = 1e-6):
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        if k < 0 or h <= 0:
+            raise ValueError(f"need k >= 0 and h > 0, got k={k}, h={h}")
+        if direction not in (1, -1):
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        self.warmup = int(warmup)
+        self.k = float(k)
+        self.h = float(h)
+        self.direction = int(direction)
+        self.min_std = float(min_std)
+        self._calibration: List[float] = []
+        self.mean: Optional[float] = None
+        self.std: Optional[float] = None
+        self.statistic = 0.0
+        self.alarmed = False
+        self.observations = 0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.mean is not None
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns whether the alarm is (now) on."""
+        value = float(value)
+        self.observations += 1
+        if not self.calibrated:
+            self._calibration.append(value)
+            if len(self._calibration) >= self.warmup:
+                sample = np.asarray(self._calibration)
+                self.mean = float(sample.mean())
+                self.std = max(float(sample.std()), self.min_std)
+                self._calibration = []
+            return False
+        z = self.direction * (value - self.mean) / self.std
+        self.statistic = max(0.0, self.statistic + z - self.k)
+        if self.statistic >= self.h:
+            self.alarmed = True
+        return self.alarmed
+
+    def reset(self) -> None:
+        """Forget everything, including the calibration (post-repair the
+        in-control distribution is a different one)."""
+        self._calibration = []
+        self.mean = None
+        self.std = None
+        self.statistic = 0.0
+        self.alarmed = False
+        self.observations = 0
+
+
+@dataclass
+class MonitorConfig:
+    """Knobs for :class:`DriftMonitor`."""
+
+    window: int = 20          # rolling-window length (batches)
+    warmup: int = 10          # CUSUM calibration batches per statistic
+    cusum_k: float = 0.5      # per-step drift allowance (in σ units)
+    cusum_h: float = 4.0      # alarm threshold (in σ units)
+    #: Floor on the calibrated std.  Every monitored statistic lives on
+    #: a [0, 1]-ish scale, and a near-constant warmup (accuracy pinned
+    #: at 1.0) would otherwise make σ collapse and a one-batch wobble
+    #: read as a massive shift.
+    min_std: float = 0.02
+    ece_bins: int = 10
+
+
+@dataclass
+class BatchStats:
+    """The monitor's read of one observed batch."""
+
+    index: int
+    timestamp: float
+    disagreement: Optional[float]          # Eq. 7 over member outputs
+    member_deviation: Dict[int, float]     # Eq. 2 vs the aggregate
+    ece: Optional[float]                   # needs labels
+    accuracy: Optional[float]              # needs labels
+    alarms: Dict[str, bool] = field(default_factory=dict)
+
+
+class DriftMonitor:
+    """Rolling-window drift statistics + CUSUM alarms over served batches.
+
+    Feed it every answered request via :meth:`observe` (optionally with
+    the batch's delayed labels).  It consumes the per-member softmax
+    rows the service already computed (``expose_member_probs``) — no
+    extra forward passes — and keeps per-member rolling health scores
+    for the repair loop.
+    """
+
+    #: Statistic names, their CUSUM direction, and whether they need labels.
+    _STATISTICS = (
+        ("disagreement", +1, False),
+        ("deviation", +1, False),
+        ("ece", +1, True),
+        ("accuracy", -1, True),
+    )
+
+    def __init__(self, config: Optional[MonitorConfig] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config or MonitorConfig()
+        self.clock = clock
+        self.detectors: Dict[str, CusumDetector] = {
+            name: CusumDetector(warmup=self.config.warmup,
+                                k=self.config.cusum_k,
+                                h=self.config.cusum_h,
+                                direction=direction,
+                                min_std=self.config.min_std)
+            for name, direction, _ in self._STATISTICS
+        }
+        window = self.config.window
+        self.history: Deque[BatchStats] = deque(maxlen=window)
+        self._deviation: Dict[int, Deque[float]] = {}
+        self._member_hits: Dict[int, Deque[float]] = {}
+        self.observed = 0
+        self.labelled = 0
+        #: Set once, at the first batch whose update latched any alarm.
+        self.first_alarm: Optional[BatchStats] = None
+
+    # ------------------------------------------------------------------
+    def observe(self, prediction: ServedPrediction,
+                labels: Optional[np.ndarray] = None,
+                timestamp: Optional[float] = None) -> BatchStats:
+        """Ingest one answered request; returns the batch's statistics."""
+        index = self.observed
+        self.observed += 1
+        if timestamp is None:
+            timestamp = self.clock()
+        member_probs = prediction.member_probs or {}
+
+        disagreement = None
+        if len(member_probs) >= 2:
+            disagreement = ensemble_diversity(list(member_probs.values()))
+        deviation = {
+            member: pairwise_diversity(probs, prediction.probs)
+            for member, probs in member_probs.items()
+        }
+        for member, value in deviation.items():
+            self._deviation.setdefault(
+                member, deque(maxlen=self.config.window)).append(value)
+
+        ece = accuracy = None
+        if labels is not None and len(labels):
+            labels = np.asarray(labels)
+            self.labelled += 1
+            ece = expected_calibration_error(prediction.probs, labels,
+                                             bins=self.config.ece_bins)
+            accuracy = float(
+                (prediction.probs.argmax(axis=1) == labels).mean())
+            for member, probs in member_probs.items():
+                self._member_hits.setdefault(
+                    member, deque(maxlen=self.config.window)).append(
+                        float((probs.argmax(axis=1) == labels).mean()))
+
+        values = {
+            "disagreement": disagreement,
+            "deviation": float(np.mean(list(deviation.values())))
+            if deviation else None,
+            "ece": ece,
+            "accuracy": accuracy,
+        }
+        alarms = {}
+        newly_alarmed = False
+        for name, detector in self.detectors.items():
+            value = values[name]
+            if value is not None:
+                was = detector.alarmed
+                alarms[name] = detector.update(value)
+                newly_alarmed |= alarms[name] and not was
+            else:
+                alarms[name] = detector.alarmed
+
+        stats = BatchStats(index=index, timestamp=float(timestamp),
+                           disagreement=disagreement,
+                           member_deviation=deviation,
+                           ece=ece, accuracy=accuracy, alarms=alarms)
+        self.history.append(stats)
+        if newly_alarmed and self.first_alarm is None:
+            self.first_alarm = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    def alarm_summary(self) -> Dict[str, bool]:
+        """Statistic name -> currently alarming (health-surface form)."""
+        return {name: detector.alarmed
+                for name, detector in self.detectors.items()}
+
+    @property
+    def alarmed(self) -> bool:
+        return any(self.alarm_summary().values())
+
+    def member_scores(self) -> Dict[int, float]:
+        """Rolling mean deviation-from-aggregate per member.
+
+        The repair loop's health ranking: *higher is sicker*.  A member
+        whose outputs drifted away from the consensus scores high; when
+        delayed labels are flowing, the score is blended with the
+        member's rolling error rate (``1 − accuracy``), so a member that
+        is both deviant and wrong outranks one that is merely deviant
+        (the deviant member can be the only *correct* one — the labels
+        disambiguate).
+        """
+        scores = {}
+        for member, window in self._deviation.items():
+            score = float(np.mean(window))
+            hits = self._member_hits.get(member)
+            if hits:
+                score += 1.0 - float(np.mean(hits))
+            scores[member] = score
+        return scores
+
+    def rolling(self, name: str) -> Optional[float]:
+        """Rolling-window mean of one statistic (None with no data)."""
+        values = [getattr(stats, name) for stats in self.history
+                  if getattr(stats, name) is not None]
+        return float(np.mean(values)) if values else None
+
+    def reset(self) -> None:
+        """Restart calibration (after a repair changed the ensemble)."""
+        for detector in self.detectors.values():
+            detector.reset()
+        self.history.clear()
+        self._deviation.clear()
+        self._member_hits.clear()
+        self.first_alarm = None

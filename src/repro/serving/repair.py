@@ -1,0 +1,369 @@
+"""Closed-loop ensemble repair: quarantine, retrain, hot-swap, rollback.
+
+The tail of the drift story.  :mod:`repro.serving.monitor` turns drift
+into an *alarm*; this module turns the alarm into a *repaired ensemble*
+while the service keeps answering requests:
+
+1. **Score** — rank members by the monitor's rolling health score
+   (deviation-from-aggregate blended with delayed-label error; higher is
+   sicker) and pick the worst.
+2. **Quarantine** — administratively trip the worst member's breaker
+   (:meth:`~repro.serving.breaker.CircuitBreaker.trip`).  Its α leaves
+   the vote immediately, so the service degrades gracefully — the same
+   Eq. 16 renormalisation that absorbs crashed members absorbs the sick
+   one — and keeps serving while the replacement trains.
+3. **Retrain** — build a fresh model, β-transfer the lower layers from
+   the *best* survivor (Sec. IV-B: the generic features survive drift
+   far better than the class-specific upper layers), and train it on
+   the replay buffer of recent labelled batches — i.e. on the drifted
+   distribution itself.
+4. **Verify or roll back** — compare the candidate ensemble (survivors
+   + replacement) against the degraded ensemble on a held-out slice of
+   the buffer.  No improvement → the candidate is discarded and the
+   quarantined member is reinstated (:meth:`.CircuitBreaker.reinstate`)
+   — a sabotaged replacement can never make the service worse.
+5. **Publish** — on success the replacement is hot-swapped in
+   (:meth:`~repro.serving.service.InferenceService.replace_member`,
+   copy-on-write, never a torn prediction), the repaired ensemble is
+   checkpointed through :class:`~repro.core.checkpointing.
+   CheckpointManager`, and the monitor recalibrates on the post-repair
+   distribution.
+
+Every decision consumes the loop's single seeded generator in a fixed
+order, so one (service, schedule, seed) triple yields bit-identical
+repairs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.checkpointing import CheckpointManager
+from repro.core.ensemble import Ensemble
+from repro.core.trainer import TrainingConfig, train_model
+from repro.core.transfer import select_beta, transfer_parameters
+from repro.data.dataset import Dataset
+from repro.models.factory import ModelFactory
+from repro.serving.monitor import DriftMonitor
+from repro.serving.service import InferenceService, ServedPrediction
+from repro.utils.rng import RngLike, new_rng
+
+__all__ = [
+    "RepairConfig",
+    "RepairEvent",
+    "RepairLoop",
+    "ReplayBuffer",
+]
+
+
+class ReplayBuffer:
+    """Ring buffer of the most recent labelled batches.
+
+    The repair loop's training substrate: under drift, *recent* labelled
+    data is the only sample of the distribution the replacement must
+    serve, so old batches are evicted as new ones arrive.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2 batches, got {capacity}")
+        self._batches: Deque[Tuple[np.ndarray, np.ndarray]] = \
+            deque(maxlen=int(capacity))
+
+    def append(self, x: np.ndarray, y: np.ndarray) -> None:
+        x, y = np.asarray(x), np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"batch of {len(x)} inputs with {len(y)} labels")
+        self._batches.append((x, y))
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    @property
+    def samples(self) -> int:
+        return sum(len(y) for _, y in self._batches)
+
+    def inferred_classes(self) -> int:
+        """Label-count fallback when the models don't declare theirs."""
+        if not self._batches:
+            raise ValueError("cannot infer classes from an empty buffer")
+        return int(max(int(y.max()) for _, y in self._batches) + 1)
+
+    def split(self, holdout_fraction: float, num_classes: int,
+              ) -> Tuple[Dataset, np.ndarray, np.ndarray]:
+        """(train dataset, holdout x, holdout y): newest batches held out.
+
+        The holdout is the *newest* slice — the closest sample of the
+        distribution the repaired ensemble will actually face — and is
+        disjoint from the training slice, so the accept/rollback verdict
+        is not graded on memorised data.
+        """
+        if len(self._batches) < 2:
+            raise ValueError("need at least 2 buffered batches to split")
+        holdout_count = max(1, int(round(len(self._batches)
+                                         * holdout_fraction)))
+        holdout_count = min(holdout_count, len(self._batches) - 1)
+        batches = list(self._batches)
+        train = batches[:-holdout_count]
+        holdout = batches[-holdout_count:]
+        x_train = np.concatenate([x for x, _ in train])
+        y_train = np.concatenate([y for _, y in train])
+        x_hold = np.concatenate([x for x, _ in holdout])
+        y_hold = np.concatenate([y for _, y in holdout])
+        return (Dataset(x_train, y_train, num_classes, name="repair-buffer"),
+                x_hold, y_hold)
+
+
+@dataclass
+class RepairConfig:
+    """Knobs for :class:`RepairLoop`."""
+
+    min_buffer_batches: int = 8    # don't repair on a thin sample
+    #: Ring-buffer size in batches.  Deliberately modest: a small buffer
+    #: evicts stationary history quickly, so by repair time the training
+    #: slice is dominated by the drifted distribution.
+    buffer_capacity: int = 16
+    #: Labelled batches to accumulate *after* the alarm latches before
+    #: repairing — training on the buffer as it stood at detection would
+    #: mostly rehearse the pre-drift distribution.
+    post_alarm_batches: int = 6
+    #: After a rollback the alarm stays latched (the evidence is still
+    #: valid; the fix failed) and the loop retries once this many more
+    #: labelled batches have arrived.
+    retry_backoff_batches: int = 4
+    #: Hard cap on repair attempts (accepted + rolled back) per alarm
+    #: era; a replacement that keeps failing must not retrain forever.
+    max_attempts: int = 8
+    holdout_fraction: float = 0.25
+    train_epochs: int = 8
+    lr: float = 0.05
+    batch_size: int = 32
+    #: β for the survivor→replacement transfer; the string ``"probe"``
+    #: runs :func:`repro.core.transfer.select_beta` on the buffer (the
+    #: paper's adaptive search, at reduced fold/epoch budget).
+    beta: Union[float, str] = 0.5
+    probe_folds: int = 4
+    probe_epochs: int = 2
+    #: Candidate must beat the degraded ensemble by at least this much
+    #: holdout accuracy, else the swap is rolled back.
+    min_gain: float = 0.0
+    #: Refuse to quarantine below the service's quorum.
+    respect_quorum: bool = True
+
+
+@dataclass
+class RepairEvent:
+    """One pass through the repair loop, for audit and benchmarking."""
+
+    outcome: str                         # repaired | rolled_back | skipped
+    reason: str
+    worst_member: Optional[int] = None
+    teacher_member: Optional[int] = None
+    scores: Dict[int, float] = field(default_factory=dict)
+    beta: Optional[float] = None
+    pre_accuracy: Optional[float] = None       # degraded, on holdout
+    candidate_accuracy: Optional[float] = None  # survivors + replacement
+    post_accuracy: Optional[float] = None      # served, after the swap
+    holdout_size: int = 0
+    train_size: int = 0
+    wall_seconds: float = 0.0
+    checkpoint: Optional[str] = None
+
+
+class RepairLoop:
+    """Drive monitor alarms to verified hot swaps on a live service."""
+
+    def __init__(self, service: InferenceService, monitor: DriftMonitor,
+                 factory: ModelFactory,
+                 config: Optional[RepairConfig] = None,
+                 rng: RngLike = None,
+                 checkpoints: Optional[CheckpointManager] = None,
+                 train_fn: Optional[Callable] = None,
+                 wall_clock: Callable[[], float] = time.perf_counter):
+        self.service = service
+        self.monitor = monitor
+        self.factory = factory
+        self.config = config or RepairConfig()
+        self.rng = new_rng(rng)
+        self.checkpoints = checkpoints
+        self.buffer = ReplayBuffer(capacity=self.config.buffer_capacity)
+        # Injectable trainer: tests sabotage the replacement through this
+        # seam to prove the rollback guard; default is the real thing.
+        self._train = train_fn or self._train_replacement
+        self.wall_clock = wall_clock
+        self.events: List[RepairEvent] = []
+        self.repairs = 0
+        self._attempts = 0
+        self._last_attempt_observed: Optional[int] = None
+        service.attach_monitor(monitor)
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, labels: Optional[np.ndarray] = None,
+             timestamp: Optional[float] = None,
+             ) -> Tuple[ServedPrediction, Optional[RepairEvent]]:
+        """The closed loop for one batch: serve → observe → maybe repair."""
+        prediction = self.service.predict(x)
+        self.monitor.observe(prediction, labels=labels, timestamp=timestamp)
+        if labels is not None and len(labels):
+            self.buffer.append(x, labels)
+        return prediction, self.maybe_repair()
+
+    def maybe_repair(self) -> Optional[RepairEvent]:
+        """Repair iff the alarm is on and enough evidence has accrued."""
+        config = self.config
+        if not self.monitor.alarmed:
+            return None
+        if len(self.buffer) < config.min_buffer_batches:
+            return None  # keep accumulating evidence; alarm stays latched
+        if self._attempts >= config.max_attempts:
+            return None
+        first = self.monitor.first_alarm
+        if first is not None and \
+                self.monitor.observed - first.index <= \
+                config.post_alarm_batches:
+            return None  # let drifted batches displace the old buffer
+        if self._last_attempt_observed is not None and \
+                self.monitor.observed - self._last_attempt_observed < \
+                config.retry_backoff_batches:
+            return None  # backoff after a rolled-back attempt
+        return self.repair()
+
+    # ------------------------------------------------------------------
+    def repair(self) -> RepairEvent:
+        """One full quarantine → retrain → verify-or-rollback cycle."""
+        started = self.wall_clock()
+        self._attempts += 1
+        self._last_attempt_observed = self.monitor.observed
+        event = self._repair(started)
+        event.wall_seconds = self.wall_clock() - started
+        self.events.append(event)
+        return event
+
+    def _repair(self, started: float) -> RepairEvent:
+        config = self.config
+        scores = self.monitor.member_scores()
+        live = {m.index for m in self.service.members
+                if not m.breaker.quarantined}
+        scores = {index: score for index, score in scores.items()
+                  if index in live}
+        if len(scores) < 2:
+            return RepairEvent(
+                outcome="skipped", scores=scores,
+                reason="need at least 2 scored live members to pick a "
+                       "worst and a teacher")
+        if config.respect_quorum and \
+                len(live) - 1 < self.service.min_members:
+            return RepairEvent(
+                outcome="skipped", scores=scores,
+                reason=f"quarantining would break quorum "
+                       f"({len(live) - 1} < {self.service.min_members})")
+        worst = max(scores, key=lambda index: (scores[index], index))
+        teacher = min(scores, key=lambda index: (scores[index], -index))
+
+        model = self.service.members[0].model
+        num_classes = int(getattr(model, "num_classes", 0)) or \
+            self.buffer.inferred_classes()
+        train_set, x_hold, y_hold = self.buffer.split(
+            config.holdout_fraction, num_classes)
+
+        # Quarantine first: the service keeps serving — degraded — while
+        # the replacement trains, and the degraded holdout accuracy is
+        # the bar the candidate has to clear.
+        worst_member = self.service.member_by_index(worst)
+        worst_member.breaker.trip(
+            f"drift repair: worst health score {scores[worst]:.4f}")
+        pre_accuracy = self._served_accuracy(x_hold, y_hold)
+
+        beta = self._choose_beta(train_set)
+        teacher_member = self.service.member_by_index(teacher)
+        student = self.factory.build(rng=self.rng)
+        transfer_parameters(teacher_member.model, student, beta,
+                            rng=self.rng)
+        self._train(student, train_set)
+
+        survivors = [m for m in self.service.members
+                     if not m.breaker.quarantined]
+        candidate = Ensemble()
+        for member in survivors:
+            candidate.add(member.model, member.alpha)
+        candidate.add(student, worst_member.alpha)
+        candidate_accuracy = candidate.evaluate(
+            x_hold, y_hold, batch_size=self.service.config.batch_size)
+
+        base = RepairEvent(
+            outcome="", reason="", worst_member=worst,
+            teacher_member=teacher, scores=scores, beta=beta,
+            pre_accuracy=pre_accuracy,
+            candidate_accuracy=candidate_accuracy,
+            holdout_size=len(y_hold), train_size=len(train_set))
+
+        if candidate_accuracy < pre_accuracy + config.min_gain:
+            # Rollback guard: the replacement underperforms the degraded
+            # ensemble it was meant to fix — restore the retired member.
+            # The alarm stays latched: the drift evidence is still valid,
+            # only the fix failed, so the loop retries after the backoff.
+            worst_member.breaker.reinstate()
+            base.outcome = "rolled_back"
+            base.reason = (
+                f"candidate holdout accuracy {candidate_accuracy:.4f} < "
+                f"degraded {pre_accuracy:.4f} + min_gain "
+                f"{config.min_gain:g}; member {worst} reinstated")
+            return base
+
+        self.service.replace_member(worst, student, worst_member.alpha)
+        self.repairs += 1
+        base.post_accuracy = self._served_accuracy(x_hold, y_hold)
+        if self.checkpoints is not None:
+            path = self.checkpoints.snapshot_ensemble(
+                self._live_ensemble(), round_index=self.repairs,
+                method="repair", metadata={
+                    "worst_member": worst, "teacher_member": teacher,
+                    "beta": beta, "pre_accuracy": pre_accuracy,
+                    "candidate_accuracy": candidate_accuracy,
+                })
+            base.checkpoint = str(path)
+        # New alarm era: recalibrate the monitor on the repaired
+        # ensemble's output distribution and reopen the attempt budget.
+        self.monitor.reset()
+        self._attempts = 0
+        self._last_attempt_observed = None
+        base.outcome = "repaired"
+        base.reason = (
+            f"member {worst} replaced (teacher {teacher}, beta {beta:g}): "
+            f"holdout {pre_accuracy:.4f} -> {candidate_accuracy:.4f}")
+        return base
+
+    # ------------------------------------------------------------------
+    def _choose_beta(self, train_set: Dataset) -> float:
+        config = self.config
+        if config.beta != "probe":
+            return float(config.beta)
+        selection = select_beta(
+            self.factory, train_set, n_folds=config.probe_folds,
+            teacher_epochs=config.probe_epochs,
+            probe_epochs=config.probe_epochs, lr=config.lr,
+            batch_size=config.batch_size, rng=self.rng)
+        return selection.beta
+
+    def _train_replacement(self, student, train_set: Dataset) -> None:
+        config = TrainingConfig(epochs=self.config.train_epochs,
+                                lr=self.config.lr,
+                                batch_size=self.config.batch_size,
+                                schedule="constant")
+        train_model(student, train_set, config, rng=self.rng)
+
+    def _served_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Aggregate accuracy as the live (possibly degraded) service."""
+        prediction = self.service.predict(x)
+        return float((prediction.labels == np.asarray(y)).mean())
+
+    def _live_ensemble(self) -> Ensemble:
+        ensemble = Ensemble()
+        for member in self.service.members:
+            ensemble.add(member.model, member.alpha)
+        return ensemble

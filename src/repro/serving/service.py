@@ -36,6 +36,7 @@ the surviving members would produce.  Tests assert exactly that.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -81,6 +82,11 @@ class ServiceConfig:
     batch_size: int = 256
     input_spec: Optional[InputSpec] = None
     clock: Callable[[], float] = time.monotonic
+    #: Attach each member's softmax rows to the prediction, keyed by the
+    #: member's original index.  Drift monitors consume these — the
+    #: per-member outputs the aggregate already computed — so monitoring
+    #: costs zero extra forward passes.
+    expose_member_probs: bool = False
 
 
 @dataclass
@@ -94,6 +100,9 @@ class ServedPrediction:
     alpha_mass: float              # α used / α configured (incl. dropped)
     deadline_hit: bool
     latency: float
+    #: Per-member softmax rows (original index -> probs); populated only
+    #: when ``ServiceConfig.expose_member_probs`` is set.
+    member_probs: Optional[Dict[int, np.ndarray]] = None
 
     @property
     def labels(self) -> np.ndarray:
@@ -119,6 +128,14 @@ class ServiceHealth:
     requests_rejected: int                   # InvalidRequest
     requests_unavailable: int                # ServiceUnavailable
     member_faults: Dict[int, int] = field(default_factory=dict)
+    #: index -> (breaker state, seconds in that state)
+    breaker_states: Dict[int, Tuple[str, float]] = field(default_factory=dict)
+    #: One-line degraded-load summary ("" when the load was clean).
+    load_summary: str = ""
+    #: Monitor statistic name -> alarming?  Empty when no monitor attached.
+    monitor_alarms: Dict[str, bool] = field(default_factory=dict)
+    #: Hot swaps applied by the repair loop over the service lifetime.
+    member_swaps: int = 0
 
 
 class InferenceService:
@@ -154,6 +171,15 @@ class InferenceService:
         self._served = 0
         self._rejected = 0
         self._unavailable = 0
+        # Hot-swap machinery: ``replace_member`` publishes a fresh member
+        # list under this lock (copy-on-write); readers snapshot the list
+        # once per request, so an in-flight prediction sees either the
+        # full old roster or the full new one, never a torn mix.
+        self._swap_lock = threading.Lock()
+        self._member_swaps = 0
+        #: Optional drift monitor (duck-typed: anything with
+        #: ``alarm_summary() -> Dict[str, bool]``); surfaced in health().
+        self.monitor = None
         if len(self.members) < self.min_members:
             raise ServiceUnavailable(
                 f"quorum not met: {len(self.members)} member(s) loaded, "
@@ -206,10 +232,15 @@ class InferenceService:
             self._rejected += 1
             raise
         started = self.clock()
+        # Snapshot the roster and its configured α mass as one consistent
+        # pair; a concurrent replace_member cannot tear this request.
+        with self._swap_lock:
+            members = self.members
+            alpha_configured = self._alpha_configured
         outputs: List[Tuple[ServingMember, np.ndarray]] = []
         skipped: List[Tuple[int, str, str]] = []
         deadline_hit = False
-        for member in self.members:
+        for member in members:
             if deadline is not None and \
                     self.clock() - started >= deadline:
                 deadline_hit = True
@@ -241,8 +272,8 @@ class InferenceService:
         for weight, (_, probs) in zip(weights, outputs):
             combined += weight * probs
         self._served += 1
-        mass = 1.0 if self._alpha_configured <= 0 else \
-            float(alphas.sum() / self._alpha_configured)
+        mass = 1.0 if alpha_configured <= 0 else \
+            float(alphas.sum() / alpha_configured)
         return ServedPrediction(
             probs=combined,
             members_used=[member.index for member, _ in outputs],
@@ -250,6 +281,8 @@ class InferenceService:
             alpha_mass=mass,
             deadline_hit=deadline_hit,
             latency=self.clock() - started,
+            member_probs={member.index: probs for member, probs in outputs}
+            if self.config.expose_member_probs else None,
         )
 
     def _validate(self, x) -> np.ndarray:
@@ -266,11 +299,71 @@ class InferenceService:
         return x
 
     # ------------------------------------------------------------------
+    def member_by_index(self, index: int) -> ServingMember:
+        """The live member with original archive index ``index``."""
+        for member in self.members:
+            if member.index == index:
+                return member
+        raise ValueError(f"no live member with index {index} "
+                         f"(live: {[m.index for m in self.members]})")
+
+    def replace_member(self, index: int, model, alpha: float,
+                       ) -> ServingMember:
+        """Hot-swap the member with original index ``index`` for ``model``.
+
+        The repair loop's publication step.  The new roster is built
+        copy-on-write and published (together with its configured α mass,
+        so ``alpha_mass`` renormalises against the *current* weights)
+        under the swap lock; a prediction snapshotting the roster sees
+        either the full old ensemble or the full new one.  The
+        replacement gets a fresh ``CLOSED`` breaker — the retired
+        member's fault history does not taint its successor — and the
+        retired :class:`ServingMember` is returned intact (model, α,
+        breaker) so the caller can keep it for rollback.
+        """
+        alpha = float(alpha)
+        if not np.isfinite(alpha) or alpha <= 0:
+            raise ValueError(
+                f"alpha must be positive and finite, got {alpha}")
+        model.eval()
+        with self._swap_lock:
+            positions = [i for i, m in enumerate(self.members)
+                         if m.index == index]
+            if not positions:
+                raise ValueError(
+                    f"no live member with index {index} "
+                    f"(live: {[m.index for m in self.members]})")
+            position = positions[0]
+            retired = self.members[position]
+            roster = list(self.members)
+            roster[position] = ServingMember(
+                index=index, model=model, alpha=alpha,
+                breaker=CircuitBreaker(
+                    fault_threshold=self.config.fault_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                    clock=self.clock))
+            self.members = roster
+            self._alpha_configured = sum(m.alpha for m in roster) + \
+                sum(drop.alpha for drop in self.load_report.dropped)
+            self._member_swaps += 1
+        return retired
+
+    def attach_monitor(self, monitor) -> None:
+        """Surface ``monitor.alarm_summary()`` in :meth:`health`.
+
+        Duck-typed on purpose: the serving layer must not import
+        :mod:`repro.serving.monitor` (a sub-layer above it), so any
+        object with ``alarm_summary() -> Dict[str, bool]`` qualifies.
+        """
+        self.monitor = monitor
+
+    # ------------------------------------------------------------------
     def health(self) -> ServiceHealth:
         """Current liveness/readiness snapshot (cheap; no model runs)."""
         live, quarantined = [], {}
         alpha_live = 0.0
-        for member in self.members:
+        members = self.members
+        for member in members:
             if member.breaker.quarantined:
                 quarantined[member.index] = member.breaker.describe()
             else:
@@ -278,19 +371,35 @@ class InferenceService:
                 alpha_live += member.alpha
         mass = 1.0 if self._alpha_configured <= 0 else \
             alpha_live / self._alpha_configured
+        report = self.load_report
+        load_summary = ""
+        if report.degraded:
+            load_summary = (
+                f"{len(report.loaded_indices)}/{report.requested} members "
+                f"loaded, alpha retained {report.alpha_retained:.3f}; "
+                "dropped: " + "; ".join(
+                    f"member {drop.index}: {drop.reason}"
+                    for drop in report.dropped))
         return ServiceHealth(
             ready=len(live) >= self.min_members,
-            members_total=self.load_report.requested or len(self.members),
+            members_total=report.requested or len(members),
             members_live=live,
             members_quarantined=quarantined,
             dropped_at_load={drop.index: drop.reason
-                             for drop in self.load_report.dropped},
+                             for drop in report.dropped},
             min_members=self.min_members,
             effective_alpha_mass=mass,
             requests_served=self._served,
             requests_rejected=self._rejected,
             requests_unavailable=self._unavailable,
             member_faults={member.index: member.breaker.total_faults
-                           for member in self.members
+                           for member in members
                            if member.breaker.total_faults},
+            breaker_states={member.index: (member.breaker.state,
+                                           member.breaker.state_age())
+                            for member in members},
+            load_summary=load_summary,
+            monitor_alarms=dict(self.monitor.alarm_summary())
+            if self.monitor is not None else {},
+            member_swaps=self._member_swaps,
         )

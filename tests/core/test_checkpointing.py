@@ -139,3 +139,44 @@ class TestLoadErrors:
                              hidden=(5, 5))
         with pytest.raises(CheckpointError, match="corrupt checkpoint archive"):
             CheckpointManager(directory).load(wrong)
+
+
+class TestSnapshotEnsemble:
+    """snapshot_ensemble: the repair loop's engine-free checkpoint path."""
+
+    def snapshot(self, tmp_path, mlp_factory, rounds=(1,)):
+        from repro.core import Ensemble
+
+        directory = tmp_path / "repairs"
+        manager = CheckpointManager(directory)
+        ensemble = Ensemble()
+        for seed in range(3):
+            ensemble.add(mlp_factory.build(rng=seed), alpha=seed + 1.0)
+        for index in rounds:
+            manager.snapshot_ensemble(ensemble, round_index=index,
+                                      metadata={"worst_member": 2,
+                                                "beta": 0.5})
+        return directory, manager, ensemble
+
+    def test_round_trips_through_load(self, tmp_path, mlp_factory,
+                                      tiny_image_split):
+        directory, manager, ensemble = self.snapshot(tmp_path, mlp_factory)
+        state = manager.load(mlp_factory)
+        assert state.round == 1
+        assert state.method == "repair"
+        assert state.metadata == {"worst_member": 2, "beta": 0.5}
+        assert len(state.ensemble) == 3
+        assert state.ensemble.alphas == ensemble.alphas
+        x = tiny_image_split.test.x[:8]
+        np.testing.assert_array_equal(state.ensemble.predict_probs(x),
+                                      ensemble.predict_probs(x))
+
+    def test_uses_the_manifest_and_retention(self, tmp_path, mlp_factory):
+        directory, manager, _ = self.snapshot(tmp_path, mlp_factory,
+                                              rounds=(1, 2, 3, 4))
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["method"] == "repair"
+        assert manager.available_rounds() == [2, 3, 4]  # keep_last=3
+        archives = sorted(p.name for p in directory.glob("round_*.npz"))
+        assert archives == ["round_0002.npz", "round_0003.npz",
+                            "round_0004.npz"]

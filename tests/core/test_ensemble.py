@@ -89,6 +89,55 @@ class TestEnsemble:
         assert len(members) == 2
 
 
+class TestReplaceMember:
+    def build(self, seeds=(0, 1, 2), alphas=(1.0, 2.0, 3.0)):
+        ensemble = Ensemble()
+        for seed, alpha in zip(seeds, alphas):
+            ensemble.add(make_model(seed), alpha)
+        return ensemble
+
+    def test_swapped_ensemble_matches_fresh_construction(self):
+        ensemble = self.build()
+        replacement = make_model(9)
+        retired = ensemble.replace_member(1, replacement, alpha=0.5)
+        fresh = Ensemble()
+        fresh.add(ensemble.models[0], 1.0)
+        fresh.add(replacement, 0.5)
+        fresh.add(ensemble.models[2], 3.0)
+        x = RNG.normal(size=(6, 4))
+        # Bit-identical, not just close: the swap must be exactly an
+        # Eq. 16 vote over the new roster.
+        np.testing.assert_array_equal(ensemble.predict_probs(x),
+                                      fresh.predict_probs(x))
+        assert retired is not replacement
+        from repro.nn import predict_probs
+        np.testing.assert_array_equal(predict_probs(retired, x),
+                                      predict_probs(make_model(1), x))
+
+    def test_negative_index_and_version_bump(self):
+        ensemble = self.build()
+        version = ensemble.membership_version
+        ensemble.replace_member(-1, make_model(9), alpha=1.0)
+        assert ensemble.membership_version == version + 1
+        assert ensemble.alphas == [1.0, 2.0, 1.0]
+
+    def test_validation_leaves_ensemble_untouched(self):
+        ensemble = self.build()
+        x = RNG.normal(size=(4, 4))
+        before_probs = ensemble.predict_probs(x)
+        version = ensemble.membership_version
+        with pytest.raises(ValueError):
+            ensemble.replace_member(0, make_model(9), alpha=0.0)
+        with pytest.raises(ValueError):
+            ensemble.replace_member(0, make_model(9), alpha=float("nan"))
+        with pytest.raises(IndexError):
+            ensemble.replace_member(3, make_model(9), alpha=1.0)
+        assert ensemble.membership_version == version
+        assert ensemble.alphas == [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(ensemble.predict_probs(x),
+                                      before_probs)
+
+
 class TestCombiners:
     def test_majority_vote(self):
         a = np.array([[0.9, 0.1], [0.9, 0.1]])

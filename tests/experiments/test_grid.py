@@ -527,3 +527,38 @@ class TestMethodRunnerIntegration:
             fresh.one(method="edde").metrics["final_accuracy"])
         # checkpoints are discarded once the run lands
         assert not checkpoints.exists()
+
+
+# ----------------------------------------------------------------------
+class TestServeDriftRunner:
+    def test_grid_cell_matches_direct_replay(self):
+        from repro.experiments.drift import DriftReplayConfig, \
+            run_drift_replay
+
+        spec = GridSpec(name="drift-grid",
+                        factors={"scenario": ["smoke"], "seed": [0]},
+                        runner="serve_drift", checkpoint=False)
+        grid = run_grid(spec)
+        assert grid.complete
+        (record,) = grid.records
+        direct = run_drift_replay(DriftReplayConfig(schedule="smoke"),
+                                  seed=0).to_payload()
+        # The replay is a pure function of (schedule, seed): the grid
+        # cell reproduces the direct call bit for bit, modulo wall clock.
+        assert record.metrics["detection_batch"] == \
+            direct["detection_batch"]
+        assert record.metrics["member_swaps"] == direct["member_swaps"]
+        assert record.metrics["post_repair_accuracy"] == \
+            direct["post_repair_accuracy"]
+        assert record.meta["accuracy_curve"] == direct["accuracy_curve"]
+        assert record.meta["schedule"] == direct["schedule"]
+
+    def test_scenario_must_name_a_schedule(self):
+        spec = GridSpec(name="drift-grid",
+                        factors={"scenario": ["not-a-preset"],
+                                 "seed": [0]},
+                        runner="serve_drift", checkpoint=False)
+        grid = run_grid(spec)
+        (record,) = grid.records
+        assert record.status == "failed"
+        assert "declares no drift schedule" in record.error

@@ -1,0 +1,248 @@
+"""Online drift monitors: ECE, CUSUM, rolling stats, health surface."""
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceService, ServiceConfig
+from repro.serving.faults import ManualClock
+from repro.serving.monitor import (
+    CusumDetector,
+    DriftMonitor,
+    MonitorConfig,
+    expected_calibration_error,
+)
+from repro.serving.service import ServedPrediction
+
+
+def prediction(member_probs, alphas=None):
+    """A ServedPrediction built straight from member softmax rows."""
+    members = dict(enumerate(member_probs))
+    alphas = alphas or [1.0] * len(members)
+    weights = np.asarray(alphas) / np.sum(alphas)
+    combined = sum(w * p for w, p in zip(weights, member_probs))
+    return ServedPrediction(
+        probs=combined, members_used=list(members), members_skipped=[],
+        alpha_mass=1.0, deadline_hit=False, latency=0.0,
+        member_probs=members)
+
+
+def confident(labels, num_classes=3, confidence=0.9):
+    probs = np.full((len(labels), num_classes),
+                    (1 - confidence) / (num_classes - 1))
+    probs[np.arange(len(labels)), labels] = confidence
+    return probs
+
+
+# ------------------------------------------------------------------ ECE
+
+class TestEce:
+    def test_perfectly_calibrated_bins(self):
+        # 90% confident and 90% correct -> zero gap in that bin.
+        labels = np.zeros(10, dtype=int)
+        probs = confident(labels)
+        predicted = probs.copy()
+        predicted[0] = confident(np.array([1]))[0]  # one wrong, 90% acc
+        assert expected_calibration_error(predicted, labels) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_overconfident_is_penalised(self):
+        labels = np.array([0, 0, 0, 0])
+        probs = confident(np.array([1, 1, 1, 1]), confidence=0.95)
+        assert expected_calibration_error(probs, labels) == \
+            pytest.approx(0.95)
+
+    def test_rejects_bad_shapes_and_empty(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((0, 3)), np.zeros(0))
+
+
+# ---------------------------------------------------------------- CUSUM
+
+class TestCusum:
+    def test_calibrates_then_alarms_on_upward_shift(self):
+        detector = CusumDetector(warmup=5, k=0.5, h=3.0, min_std=0.01)
+        for _ in range(5):
+            assert detector.update(0.1) is False
+        assert detector.calibrated
+        assert detector.mean == pytest.approx(0.1)
+        # Sustained +10 sigma shift crosses h=3 within one update.
+        assert detector.update(0.3) is True
+        assert detector.alarmed
+
+    def test_stationary_noise_does_not_alarm(self):
+        # min_std floors sigma above the noise scale, so standardised
+        # steps average below k and S never accumulates to h.
+        rng = np.random.default_rng(0)
+        detector = CusumDetector(warmup=20, k=0.5, h=5.0, min_std=0.05)
+        for value in rng.normal(0.5, 0.02, size=200):
+            detector.update(value)
+        assert not detector.alarmed
+
+    def test_downward_direction(self):
+        detector = CusumDetector(warmup=3, k=0.5, h=2.0, direction=-1,
+                                 min_std=0.01)
+        for _ in range(3):
+            detector.update(0.9)
+        assert detector.update(0.5) is True   # accuracy collapse
+
+    def test_alarm_latches_until_reset(self):
+        detector = CusumDetector(warmup=2, k=0.5, h=1.0, min_std=0.01)
+        detector.update(0.0), detector.update(0.0)
+        detector.update(1.0)
+        assert detector.alarmed
+        detector.update(0.0)                  # back to normal values
+        assert detector.alarmed               # still latched
+        detector.reset()
+        assert not detector.alarmed and not detector.calibrated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(warmup=1)
+        with pytest.raises(ValueError):
+            CusumDetector(h=0.0)
+        with pytest.raises(ValueError):
+            CusumDetector(direction=0)
+
+
+# -------------------------------------------------------------- monitor
+
+def drift_feed(monitor, stationary, shifted, labels_fn=None):
+    for probs in stationary + shifted:
+        labels = labels_fn(probs) if labels_fn else None
+        monitor.observe(prediction(probs), labels=labels)
+
+
+class TestDriftMonitor:
+    config = MonitorConfig(warmup=5, cusum_h=3.0, min_std=0.01, window=10)
+
+    def agreeing(self, rng):
+        base = rng.dirichlet(np.ones(3), size=8)
+        return [base + rng.normal(0, 0.003, size=base.shape)
+                for _ in range(3)]
+
+    def disagreeing(self, rng):
+        return [rng.dirichlet(np.ones(3), size=8) for _ in range(3)]
+
+    def test_disagreement_alarm_fires_after_shift(self):
+        rng = np.random.default_rng(0)
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        drift_feed(monitor, [self.agreeing(rng) for _ in range(8)],
+                   [self.disagreeing(rng) for _ in range(6)])
+        assert monitor.alarm_summary()["disagreement"]
+        assert monitor.alarmed
+        assert monitor.first_alarm is not None
+        assert monitor.first_alarm.index >= 8
+
+    def test_no_alarm_on_stationary_stream(self):
+        rng = np.random.default_rng(1)
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        drift_feed(monitor, [self.agreeing(rng) for _ in range(30)], [])
+        assert not monitor.alarmed
+
+    def test_accuracy_alarm_needs_labels(self):
+        rng = np.random.default_rng(2)
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        good = np.zeros(8, dtype=int)
+        for _ in range(8):   # calibrate on correct, confident batches
+            monitor.observe(prediction([confident(good)] * 3), labels=good)
+        assert not monitor.alarmed
+        wrong = np.ones(8, dtype=int)
+        for _ in range(3):   # same outputs, labels moved: accuracy collapse
+            monitor.observe(prediction([confident(good)] * 3), labels=wrong)
+        summary = monitor.alarm_summary()
+        assert summary["accuracy"] and summary["ece"]
+        assert monitor.labelled == 11
+
+    def test_member_scores_rank_the_deviant(self):
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        consensus = confident(np.zeros(8, dtype=int))
+        deviant = confident(np.ones(8, dtype=int))
+        for _ in range(6):
+            monitor.observe(prediction([consensus, consensus, deviant]))
+        scores = monitor.member_scores()
+        assert set(scores) == {0, 1, 2}
+        assert scores[2] > scores[0]
+        assert scores[2] == max(scores.values())
+
+    def test_member_scores_blend_delayed_label_error(self):
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        labels = np.zeros(8, dtype=int)
+        right = confident(labels)
+        wrong = confident(np.ones(8, dtype=int))
+        for _ in range(4):
+            monitor.observe(prediction([right, right, wrong]), labels=labels)
+        scores = monitor.member_scores()
+        # The wrong member's error rate (~1.0) dominates its deviation.
+        assert scores[2] > scores[0] + 0.5
+
+    def test_unlabelled_stats_are_none_but_recorded(self):
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        stats = monitor.observe(prediction(
+            [confident(np.zeros(4, dtype=int))] * 2))
+        assert stats.ece is None and stats.accuracy is None
+        assert stats.disagreement is not None
+        assert monitor.rolling("disagreement") is not None
+        assert monitor.rolling("accuracy") is None
+
+    def test_timestamps_use_injected_clock(self):
+        clock = ManualClock(start=5.0)
+        monitor = DriftMonitor(self.config, clock=clock)
+        probs = [confident(np.zeros(4, dtype=int))] * 2
+        assert monitor.observe(prediction(probs)).timestamp == 5.0
+        clock.advance(2.5)
+        assert monitor.observe(prediction(probs)).timestamp == 7.5
+        assert monitor.observe(prediction(probs),
+                               timestamp=99.0).timestamp == 99.0
+
+    def test_reset_clears_everything(self):
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(self.config, clock=ManualClock())
+        drift_feed(monitor, [self.agreeing(rng) for _ in range(8)],
+                   [self.disagreeing(rng) for _ in range(6)])
+        assert monitor.alarmed
+        monitor.reset()
+        assert not monitor.alarmed
+        assert monitor.first_alarm is None
+        assert monitor.member_scores() == {}
+        assert monitor.rolling("disagreement") is None
+
+
+# ----------------------------------------------- health-surface plumbing
+
+class TestHealthSurface:
+    def test_monitor_alarms_surface_in_service_health(self, ensemble):
+        clock = ManualClock()
+        service = InferenceService(ensemble, config=ServiceConfig(
+            clock=clock, expose_member_probs=True))
+        monitor = DriftMonitor(MonitorConfig(warmup=2, min_std=0.01),
+                               clock=clock)
+        service.attach_monitor(monitor)
+        assert service.health().monitor_alarms == {
+            "disagreement": False, "deviation": False,
+            "ece": False, "accuracy": False}
+        labels = np.zeros(6, dtype=int)
+        for _ in range(2):
+            monitor.observe(prediction([confident(labels)] * 2),
+                            labels=labels)
+        monitor.observe(prediction([confident(labels)] * 2),
+                        labels=np.ones(6, dtype=int))
+        health = service.health()
+        assert health.monitor_alarms["accuracy"] is True
+
+    def test_breaker_states_and_ages_in_health(self, ensemble):
+        clock = ManualClock()
+        service = InferenceService(ensemble,
+                                   config=ServiceConfig(clock=clock))
+        clock.advance(4.0)
+        member = service.members[1]
+        member.breaker.trip("test quarantine")
+        clock.advance(2.0)
+        health = service.health()
+        state, age = health.breaker_states[1]
+        assert state == "open" and age == pytest.approx(2.0)
+        state, age = health.breaker_states[0]
+        assert state == "closed" and age == pytest.approx(6.0)
+        assert 1 in health.members_quarantined

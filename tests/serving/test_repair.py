@@ -1,0 +1,428 @@
+"""The closed repair loop: buffer, gating, hot swap, rollback, e2e replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import Ensemble
+from repro.core.trainer import TrainingConfig, train_model
+from repro.data.dataset import Dataset
+from repro.experiments.drift import DriftReplayConfig, run_drift_replay
+from repro.serving import InferenceService, ServiceConfig
+from repro.serving.faults import ManualClock
+from repro.serving.monitor import DriftMonitor, MonitorConfig
+from repro.serving.repair import RepairConfig, RepairLoop, ReplayBuffer
+from repro.serving.service import ServedPrediction
+
+NUM_CLASSES = 3
+DIM = 4
+#: Well-separated class means: a (6,)-hidden MLP fits this in a few epochs.
+MEANS = np.array([[3.0, 0, 0, 0], [0, 3.0, 0, 0], [0, 0, 3.0, 0]])
+#: The covariate shift used to trigger drift in the loop tests.
+SHIFT = np.array([0.0, 0, -2.5, 2.5])
+
+
+def blobs(rng, n, shift=0.0):
+    y = rng.integers(NUM_CLASSES, size=n)
+    x = MEANS[y] + shift * SHIFT + rng.normal(0, 0.4, size=(n, DIM))
+    return x, y
+
+
+def member_prediction(member_probs):
+    members = dict(enumerate(member_probs))
+    combined = np.mean(list(members.values()), axis=0)
+    return ServedPrediction(
+        probs=combined, members_used=list(members), members_skipped=[],
+        alpha_mass=1.0, deadline_hit=False, latency=0.0,
+        member_probs=members)
+
+
+def trained_service(factory, clock, seed=0, members=4):
+    """Four MLPs fitted on the stationary blobs, behind one service."""
+    rng = np.random.default_rng(seed)
+    x, y = blobs(rng, 240)
+    train_set = Dataset(x, y, NUM_CLASSES, name="repair-blobs")
+    training = TrainingConfig(epochs=8, lr=0.1, batch_size=32,
+                              schedule="constant")
+    ensemble = Ensemble()
+    for _ in range(members):
+        model = factory.build(rng=rng)
+        train_model(model, train_set, training, rng=rng)
+        ensemble.add(model, alpha=1.0)
+    return InferenceService(ensemble, config=ServiceConfig(
+        expose_member_probs=True, clock=clock))
+
+
+# --------------------------------------------------------------- buffer
+
+class TestReplayBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=1)
+
+    def test_append_validates_lengths(self):
+        buffer = ReplayBuffer(capacity=4)
+        with pytest.raises(ValueError):
+            buffer.append(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_eviction_keeps_the_newest(self):
+        buffer = ReplayBuffer(capacity=3)
+        for tag in range(5):
+            buffer.append(np.full((2, 2), float(tag)),
+                          np.zeros(2, dtype=int))
+        assert len(buffer) == 3 and buffer.samples == 6
+        train, x_hold, _ = buffer.split(0.34, num_classes=2)
+        # batches 0 and 1 were evicted; newest batch (4) is the holdout
+        assert set(np.unique(train.x)) == {2.0, 3.0}
+        assert np.unique(x_hold) == [4.0]
+
+    def test_inferred_classes(self):
+        buffer = ReplayBuffer(capacity=4)
+        with pytest.raises(ValueError):
+            buffer.inferred_classes()
+        buffer.append(np.zeros((3, 2)), np.array([0, 2, 1]))
+        assert buffer.inferred_classes() == 3
+
+    def test_split_is_disjoint_and_needs_two_batches(self):
+        buffer = ReplayBuffer(capacity=8)
+        buffer.append(np.zeros((4, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            buffer.split(0.25, num_classes=2)
+        for tag in range(1, 4):
+            buffer.append(np.full((4, 2), float(tag)),
+                          np.full(4, tag % 2, dtype=int))
+        train, x_hold, y_hold = buffer.split(0.25, num_classes=2)
+        assert len(train) + len(y_hold) == buffer.samples
+        assert train.num_classes == 2
+        # The newest batch is the holdout, and never also trains.
+        assert np.unique(x_hold) == [3.0]
+        assert 3.0 not in train.x
+
+
+# --------------------------------------------------------------- gating
+
+class TestGating:
+    def alarmed_monitor(self, clock, batches=12):
+        """A monitor with a latched disagreement alarm over 4 members."""
+        monitor = DriftMonitor(MonitorConfig(warmup=2, min_std=0.01),
+                               clock=clock)
+        agree = np.tile(np.eye(NUM_CLASSES)[0], (4, 1)) * 0.94 + 0.02
+        for _ in range(2):
+            monitor.observe(member_prediction([agree] * 4))
+        rng = np.random.default_rng(0)
+        for _ in range(batches - 2):
+            monitor.observe(member_prediction(
+                [rng.dirichlet(np.ones(NUM_CLASSES), size=4)
+                 for _ in range(4)]))
+        assert monitor.alarmed
+        return monitor
+
+    def loop(self, ensemble, factory, clock, monitor, **overrides):
+        service = InferenceService(ensemble, config=ServiceConfig(
+            expose_member_probs=True, clock=clock))
+        kwargs = dict(min_buffer_batches=2, post_alarm_batches=0,
+                      retry_backoff_batches=2, max_attempts=2)
+        kwargs.update(overrides)
+        return RepairLoop(service, monitor, factory,
+                          config=RepairConfig(**kwargs),
+                          rng=np.random.default_rng(0))
+
+    def fill_buffer(self, loop, batches=4):
+        rng = np.random.default_rng(1)
+        for _ in range(batches):
+            x, y = blobs(rng, 8)
+            loop.buffer.append(x, y)
+
+    def test_quiet_monitor_never_repairs(self, ensemble, factory):
+        clock = ManualClock()
+        monitor = DriftMonitor(MonitorConfig(warmup=2), clock=clock)
+        loop = self.loop(ensemble, factory, clock, monitor)
+        self.fill_buffer(loop)
+        assert loop.maybe_repair() is None
+        assert loop.events == []
+
+    def test_thin_buffer_defers(self, ensemble, factory):
+        clock = ManualClock()
+        loop = self.loop(ensemble, factory, clock,
+                         self.alarmed_monitor(clock), min_buffer_batches=8)
+        self.fill_buffer(loop, batches=3)
+        assert loop.maybe_repair() is None
+
+    def test_post_alarm_evidence_window(self, ensemble, factory):
+        clock = ManualClock()
+        # Alarm latches at batch >= 2; only ~9 batches observed since.
+        monitor = self.alarmed_monitor(clock, batches=12)
+        loop = self.loop(ensemble, factory, clock, monitor,
+                         post_alarm_batches=50)
+        self.fill_buffer(loop)
+        assert loop.maybe_repair() is None
+
+    def test_attempt_budget_is_a_hard_cap(self, ensemble, factory):
+        clock = ManualClock()
+        loop = self.loop(ensemble, factory, clock,
+                         self.alarmed_monitor(clock), max_attempts=2)
+        self.fill_buffer(loop)
+        loop._attempts = 2
+        assert loop.maybe_repair() is None
+
+    def test_quorum_guard_skips(self, ensemble, factory):
+        clock = ManualClock()
+        monitor = self.alarmed_monitor(clock)
+        service = InferenceService(ensemble, config=ServiceConfig(
+            expose_member_probs=True, clock=clock, min_members=4))
+        loop = RepairLoop(service, monitor, factory,
+                          config=RepairConfig(min_buffer_batches=2,
+                                              post_alarm_batches=0),
+                          rng=np.random.default_rng(0))
+        self.fill_buffer(loop)
+        event = loop.maybe_repair()
+        assert event.outcome == "skipped"
+        assert "quorum" in event.reason
+        assert service.health().member_swaps == 0
+
+    def test_needs_two_scored_live_members(self, ensemble, factory):
+        clock = ManualClock()
+        monitor = DriftMonitor(MonitorConfig(warmup=2, min_std=0.01),
+                               clock=clock)
+        # Only member 0 ever reports probs: one scored member, no teacher.
+        solo = np.tile(np.eye(NUM_CLASSES)[0], (4, 1)) * 0.94 + 0.02
+        rng = np.random.default_rng(0)
+        for i in range(8):
+            probs = solo if i < 2 else \
+                rng.dirichlet(np.ones(NUM_CLASSES), size=4)
+            prediction = member_prediction([probs])
+            monitor.observe(prediction)
+        monitor.detectors["disagreement"].alarmed = True  # force the gate
+        loop = self.loop(ensemble, factory, clock, monitor)
+        self.fill_buffer(loop)
+        event = loop.maybe_repair()
+        assert event.outcome == "skipped"
+        assert "at least 2" in event.reason
+
+
+# ------------------------------------------------------------- hot swap
+
+class SwapDuringForward:
+    """Model wrapper that fires a hot swap from inside its own forward."""
+
+    def __init__(self, inner, fire):
+        self._inner = inner
+        self._fire = fire
+
+    def __call__(self, x):
+        self._fire()
+        return self._inner(x)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestHotSwap:
+    def test_replace_member_validates_before_mutating(self, ensemble,
+                                                      factory):
+        service = InferenceService(ensemble)
+        with pytest.raises(ValueError):
+            service.replace_member(0, factory.build(rng=9), alpha=0.0)
+        with pytest.raises(ValueError):
+            service.replace_member(99, factory.build(rng=9), alpha=1.0)
+        assert service.health().member_swaps == 0
+
+    def test_retired_member_comes_back_intact(self, ensemble, factory):
+        service = InferenceService(ensemble)
+        original = service.member_by_index(2)
+        replacement = factory.build(rng=9)
+        retired = service.replace_member(2, replacement, alpha=4.0)
+        assert retired is original
+        assert retired.alpha == 2.5          # conftest: alpha = seed + 0.5
+        swapped = service.member_by_index(2)
+        assert swapped.model is replacement
+        assert swapped.alpha == 4.0
+        assert swapped.breaker.state == "closed"
+        health = service.health()
+        assert health.member_swaps == 1
+        assert health.effective_alpha_mass == pytest.approx(1.0)
+
+    def test_prediction_is_never_torn(self, ensemble, factory,
+                                      request_batch):
+        """A request in flight during a swap sees the *full* old roster."""
+        service = InferenceService(ensemble)
+        replacement = factory.build(rng=9)
+        fired = []
+
+        def fire():
+            if not fired:
+                fired.append(True)
+                service.replace_member(2, replacement, alpha=1.0)
+
+        member0 = service.members[0]
+        member0.model = SwapDuringForward(member0.model, fire)
+        before = ensemble.predict_probs(request_batch)
+
+        during = service.predict(request_batch)
+        assert fired
+        # The old ensemble answered, at the old α weights -- including
+        # the member that was swapped out mid-request.
+        np.testing.assert_allclose(during.probs, before, atol=1e-12)
+        assert during.alpha_mass == pytest.approx(1.0)
+
+        after = service.predict(request_batch)
+        expected = Ensemble()
+        for member in service.members:
+            expected.add(member.model._inner if member.index == 0
+                         else member.model, member.alpha)
+        np.testing.assert_allclose(
+            after.probs, expected.predict_probs(request_batch), atol=1e-12)
+        assert not np.allclose(after.probs, before)
+
+
+# ------------------------------------------------------------- the loop
+
+def drive(loop, clock, rng, batches, shift):
+    """Serve `batches` blob batches through the closed loop."""
+    for _ in range(batches):
+        x, y = blobs(rng, 16, shift=shift)
+        clock.advance(1.0)
+        loop.step(x, y)
+
+
+class TestRepairCycle:
+    def closed_loop(self, factory, train_fn=None, **overrides):
+        clock = ManualClock()
+        service = trained_service(factory, clock)
+        monitor = DriftMonitor(MonitorConfig(warmup=6, min_std=0.02),
+                               clock=clock)
+        kwargs = dict(min_buffer_batches=4, buffer_capacity=8,
+                      post_alarm_batches=4, retry_backoff_batches=3,
+                      max_attempts=3, train_epochs=8, lr=0.1,
+                      batch_size=16)
+        kwargs.update(overrides)
+        loop = RepairLoop(service, monitor, factory,
+                          config=RepairConfig(**kwargs),
+                          rng=np.random.default_rng(7),
+                          train_fn=train_fn)
+        return loop, clock
+
+    def test_honest_repair_is_accepted_and_recovers(self, factory):
+        loop, clock = self.closed_loop(factory)
+        rng = np.random.default_rng(3)
+        drive(loop, clock, rng, batches=10, shift=0.0)
+        assert not loop.monitor.alarmed
+        drive(loop, clock, rng, batches=20, shift=1.0)
+        repaired = [e for e in loop.events if e.outcome == "repaired"]
+        assert repaired, [e.reason for e in loop.events]
+        event = repaired[0]
+        assert event.worst_member != event.teacher_member
+        assert event.worst_member == max(
+            event.scores, key=lambda i: (event.scores[i], i))
+        assert event.candidate_accuracy >= event.pre_accuracy
+        assert loop.service.health().member_swaps == len(repaired)
+        # Post-repair the swapped roster must outperform the degraded
+        # pre-repair service on fresh drifted data.
+        x, y = blobs(rng, 200, shift=1.0)
+        assert loop.service.predict(x).labels is not None
+        post = float((loop.service.predict(x).labels == y).mean())
+        assert post > event.pre_accuracy - 0.05
+        assert post > 0.75
+
+    def test_sabotaged_replacement_rolls_back(self, factory):
+        def sabotage(student, train_set):
+            # A confidently *wrong* replacement: fit rotated labels.
+            wrong = Dataset(train_set.x,
+                            (train_set.y + 1) % train_set.num_classes,
+                            train_set.num_classes, name="sabotage")
+            train_model(student, wrong,
+                        TrainingConfig(epochs=10, lr=0.2, batch_size=16,
+                                       schedule="constant"),
+                        rng=np.random.default_rng(13))
+
+        # Stationary stream: the degraded survivors stay strong on the
+        # holdout, so the confidently-wrong student cannot clear the
+        # strict-improvement bar (min_gain > 0).
+        loop, clock = self.closed_loop(factory, train_fn=sabotage,
+                                       min_gain=0.02)
+        rng = np.random.default_rng(3)
+        drive(loop, clock, rng, batches=10, shift=0.0)
+        worst_before = max(loop.monitor.member_scores(),
+                           key=lambda i: loop.monitor.member_scores()[i])
+        event = loop.repair()
+
+        assert event.outcome == "rolled_back"
+        assert event.reason.startswith("candidate holdout accuracy")
+        assert event.worst_member == worst_before
+        assert event.worst_member != event.teacher_member
+        assert event.candidate_accuracy < event.pre_accuracy + 0.02
+        assert loop.repairs == 0
+        assert loop.service.health().member_swaps == 0
+        # The quarantined member was reinstated: the full roster serves.
+        assert all(not m.breaker.quarantined
+                   for m in loop.service.members)
+        # The failed attempt still consumed budget and armed the backoff.
+        assert loop._attempts == 1
+        assert loop.maybe_repair() is None
+
+    def test_rollback_retries_after_backoff(self, factory):
+        calls = []
+
+        def sabotage_once(student, train_set):
+            calls.append(len(calls))
+            if len(calls) == 1:
+                return  # untrained garbage on the first attempt
+            loop._train_replacement(student, train_set)
+
+        loop, clock = self.closed_loop(factory, train_fn=sabotage_once,
+                                       min_gain=0.001)
+        rng = np.random.default_rng(3)
+        drive(loop, clock, rng, batches=10, shift=0.0)
+        drive(loop, clock, rng, batches=26, shift=1.0)
+        outcomes = [e.outcome for e in loop.events
+                    if e.outcome in ("repaired", "rolled_back")]
+        assert outcomes[0] == "rolled_back"
+        assert "repaired" in outcomes
+
+
+# ----------------------------------------------------------- e2e replay
+
+SMOKE = DriftReplayConfig(schedule="smoke")
+
+
+class TestDriftReplay:
+    def test_detect_repair_recover(self, tmp_path):
+        config = DriftReplayConfig(schedule="smoke",
+                                   checkpoint_dir=str(tmp_path))
+        result = run_drift_replay(config, seed=0)
+        assert result.drift_onset == 16
+        assert result.detection_batch is not None
+        assert result.detection_latency <= 8
+        assert result.detection_statistics  # names the alarming stats
+        repaired = [e for e in result.repair_events
+                    if e.outcome == "repaired"]
+        assert result.member_swaps == len(repaired) >= 1
+        assert result.pre_drift_accuracy > 0.9
+        assert result.post_repair_accuracy > result.drifted_accuracy
+        assert result.recovered > 0
+        assert result.final_alpha_mass == pytest.approx(1.0)
+        # Each accepted repair checkpointed the post-swap ensemble.
+        for event in repaired:
+            assert event.checkpoint is not None
+            assert (tmp_path / event.checkpoint.split("/")[-1]).exists()
+
+    def test_bit_identical_replay(self):
+        first = run_drift_replay(SMOKE, seed=0)
+        second = run_drift_replay(SMOKE, seed=0)
+        assert first.accuracy_curve == second.accuracy_curve
+        payload_a, payload_b = first.to_payload(), second.to_payload()
+        for payload in (payload_a, payload_b):
+            for event in payload["repair_events"]:
+                event.pop("wall_seconds")  # the only wall-clock field
+            payload.pop("repair_wall_seconds")
+        assert payload_a == payload_b
+
+    def test_seed_moves_the_replay(self):
+        a = run_drift_replay(SMOKE, seed=0)
+        b = run_drift_replay(SMOKE, seed=1)
+        assert a.accuracy_curve != b.accuracy_curve
+
+    def test_label_delay_defers_detection(self):
+        config = DriftReplayConfig(schedule="smoke", label_delay=3)
+        result = run_drift_replay(config, seed=0)
+        baseline = run_drift_replay(SMOKE, seed=0)
+        assert result.detection_batch >= baseline.detection_batch
