@@ -66,11 +66,23 @@ LAYER_GRAPH: Dict[str, Set[str]] = {
     "serving.monitor": {"serving", "core", "utils"},
     "serving.repair": {"serving", "serving.monitor", "core", "data",
                        "models", "utils"},
+    # Concurrent-pipeline sub-layers (PR 8): the scheduler is a generic
+    # bounded-queue micro-batcher (no repro deps at all), the executor
+    # runs roster members on a thread pool (it needs the member/fault
+    # protocol from plain serving and the batch-invariant GEMM context
+    # from ops), and the transport composes both into the async
+    # submit/poll/result front door.  All sit above plain ``serving`` —
+    # the sequential service stays importable without any of them.
+    "serving.scheduler": set(),
+    "serving.executor": {"serving", "ops", "utils"},
+    "serving.transport": {"serving", "serving.scheduler",
+                          "serving.executor", "ops", "core", "utils"},
     "experiments": {"baselines", "analysis", "serving.repair",
-                    "serving.monitor", "serving", "core", "utils"},
+                    "serving.monitor", "serving.transport", "serving",
+                    "core", "utils"},
     "experiments.grid": {"experiments", "analysis", "core", "data", "utils"},
-    "cli": {"experiments.grid", "experiments", "analysis", "serving", "core",
-            "models", "utils"},
+    "cli": {"experiments.grid", "experiments", "analysis",
+            "serving.transport", "serving", "core", "models", "utils"},
     "benchmarks": {"experiments.grid", "experiments", "analysis", "data",
                    "models", "nn", "ops", "tensor", "utils"},
     # repro/__init__.py re-exports the quickstart surface.

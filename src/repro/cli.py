@@ -18,6 +18,13 @@ Commands
     the closed-loop repair subsystem (:mod:`repro.serving.repair`) —
     and archive ``results/BENCH_drift.json`` with detection latency,
     pre/drifted/post-repair accuracy and the repair audit trail.
+``serve-load``
+    Drive the concurrent serving pipeline
+    (:mod:`repro.serving.transport`) with the deterministic load harness
+    (:mod:`repro.experiments.serve_load`): a T × {batching on, off}
+    sweep of closed-loop clients plus one open-loop replay, archiving
+    ``results/BENCH_serving.json`` with QPS, p50/p95/p99 latency and the
+    batched-vs-solo bit-parity verdict.
 ``grid``
     Execute a declarative experiment grid from a JSON spec
     (:class:`~repro.experiments.grid.GridSpec`): expand the factor table
@@ -47,6 +54,7 @@ Examples
     python -m repro.cli serve-drift --schedule step-moderate --seed 0
     python -m repro.cli serve-drift --schedule smoke --max-repairs 1 \\
         --checkpoint-dir runs/drift-repairs
+    python -m repro.cli serve-load --sizes 1,4,8 --requests 256 --clients 16
     python -m repro.cli grid --spec specs/table5.json --out runs/grids
     python -m repro.cli grid --spec specs/table5.json --out runs/grids \\
         --shard 1/4 --workers 2 --resume
@@ -285,6 +293,39 @@ def _cmd_serve_drift(args) -> int:
                       directory=args.results)
     print(f"benchmark artifact: {path}")
     return 0
+
+
+def _cmd_serve_load(args) -> int:
+    from repro.experiments.grid.reporting import write_json
+    from repro.experiments.serve_load import run_load_suite
+
+    try:
+        sizes = tuple(int(part) for part in args.sizes.split(","))
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, "
+              f"got {args.sizes!r}", file=sys.stderr)
+        return 2
+    payload = run_load_suite(
+        ensemble_sizes=sizes, seed=args.seed, requests=args.requests,
+        rows=args.rows, clients=args.clients,
+        max_batch_rows=args.max_batch_rows, max_wait_ms=args.max_wait_ms)
+    print(f"{'T':>3} {'batching':>8} {'arrival':>7} {'qps':>8} "
+          f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'batch':>6}")
+    for cell in payload["cells"]:
+        latency = cell["latency_ms"]
+        print(f"{cell['config']['ensemble_size']:>3} "
+              f"{'on' if cell['batching'] else 'off':>8} "
+              f"{cell['arrival']:>7} {cell['qps']:>8.0f} "
+              f"{latency['p50']:>8.2f} {latency['p95']:>8.2f} "
+              f"{latency['p99']:>8.2f} "
+              f"{cell['mean_batch_requests']:>6.1f}")
+    for size, speedup in payload["qps_speedup_batched"].items():
+        print(f"batching speedup at T={size}: {speedup:.2f}x")
+    print(f"bit-parity (batched == solo): "
+          f"{'ok' if payload['parity_ok'] else 'VIOLATED'}")
+    path = write_json(args.bench_name, payload, directory=args.results)
+    print(f"benchmark artifact: {path}")
+    return 0 if payload["parity_ok"] else 1
 
 
 def _render_health(health) -> str:
@@ -562,6 +603,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact basename (BENCH_drift -> "
                             "BENCH_drift.json)")
     drift.set_defaults(func=_cmd_serve_drift)
+
+    load = commands.add_parser(
+        "serve-load",
+        help="drive the concurrent serving pipeline with a load harness "
+             "(T x batching on/off sweep) and archive "
+             "results/BENCH_serving.json")
+    load.add_argument("--sizes", default="1,4,8", metavar="T,T,...",
+                      help="comma-separated ensemble sizes to sweep")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--requests", type=int, default=256,
+                      help="timed requests per cell (closed loop)")
+    load.add_argument("--rows", type=int, default=8,
+                      help="rows per request payload")
+    load.add_argument("--clients", type=int, default=16,
+                      help="closed-loop client threads")
+    load.add_argument("--max-batch-rows", type=int, default=128,
+                      help="micro-batcher row cap per stacked batch")
+    load.add_argument("--max-wait-ms", type=float, default=5.0,
+                      help="micro-batcher window: how long the oldest "
+                           "request waits for company")
+    load.add_argument("--results", default="results", metavar="DIR",
+                      help="directory for the benchmark artifact")
+    load.add_argument("--bench-name", default="BENCH_serving",
+                      help="artifact basename (BENCH_serving -> "
+                           "BENCH_serving.json)")
+    load.set_defaults(func=_cmd_serve_load)
 
     grid = commands.add_parser(
         "grid",

@@ -320,6 +320,56 @@ def serve_drift_runner(run: RunSpec, context: RunContext) -> RunOutput:
 
 
 # ----------------------------------------------------------------------
+# Serving load: one pipeline throughput/latency cell per run
+# (repro.experiments.serve_load), T x batching declarable as factors.
+
+#: LoadConfig fields a grid cell may set (as factors or overrides).
+SERVING_LOAD_OVERRIDES = (
+    "ensemble_size", "batching", "requests", "rows", "clients", "warmup",
+    "arrival", "rate", "max_batch_rows", "max_wait_ms", "workers",
+    "probe_requests", "input_dim", "num_classes",
+)
+
+
+def serving_load_runner(run: RunSpec, context: RunContext) -> RunOutput:
+    """One load-harness cell: pipeline config in, QPS/latency/parity out.
+
+    ``ensemble_size`` and ``batching`` ride the ordinary factor axes, so
+    a T × {on, off} sweep is a plain 2-factor grid; wall-clock numbers
+    (QPS, percentiles) are measurements, not reproducible aggregates —
+    only ``parity_ok`` is a deterministic bit.
+    """
+    from repro.experiments.serve_load import LoadConfig, run_serve_load
+
+    kwargs = {}
+    overrides = run.override_dict
+    for name in SERVING_LOAD_OVERRIDES:
+        if name in overrides:
+            kwargs[name] = overrides.pop(name)
+        elif name in run.factor_dict:
+            kwargs[name] = run.factor_dict[name]
+    if overrides:
+        raise ValueError(f"serving_load runner got unknown overrides: "
+                         f"{sorted(overrides)}")
+    result = run_serve_load(LoadConfig(seed=run.seed, **kwargs))
+    metrics = {
+        "qps": result.qps,
+        "latency_p50_ms": result.latency_ms["p50"],
+        "latency_p95_ms": result.latency_ms["p95"],
+        "latency_p99_ms": result.latency_ms["p99"],
+        "mean_batch_requests": result.mean_batch_requests,
+        "parity_ok": result.parity_ok,
+    }
+    meta = {"batching": result.batching, "arrival": result.arrival,
+            "requests": result.requests,
+            "batches_formed": result.batches_formed}
+    if result.open_loop:
+        meta["open_loop"] = result.open_loop
+    return RunOutput(metrics=metrics, meta=meta,
+                     result=result if context.keep_result else None)
+
+
+# ----------------------------------------------------------------------
 # Beyond-paper EDDE variants (Table VI, REPRO_EXTENDED_ABLATION=1).
 
 def _variant_runner(variant_fn) -> RunnerFn:
@@ -336,6 +386,7 @@ def _variant_runner(variant_fn) -> RunnerFn:
 register_runner("method", method_runner)
 register_runner("beta_probe", beta_probe_runner)
 register_runner("serve_drift", serve_drift_runner)
+register_runner("serving_load", serving_load_runner)
 register_runner("edde_cumulative_weights",
                 _variant_runner(run_edde_cumulative_weights))
 register_runner("edde_correlate_previous_model",

@@ -1,0 +1,328 @@
+"""The serving load harness: arrival processes, tail latency, QPS.
+
+EDDE's efficiency claim is about *training* cost; the serving cost of an
+ensemble is T forward passes per request, and the ROADMAP's north star
+("heavy traffic … as fast as the hardware allows") demands that the
+serving stack amortise it.  This harness measures exactly that, Locust
+style but deterministic, against the concurrent pipeline
+(:mod:`repro.serving.transport`):
+
+* **Closed loop** — C client threads in a submit→wait→repeat cycle over
+  pre-generated payloads.  Real wall-clock timing (``perf_counter``):
+  this is where QPS and the p50/p95/p99 latency percentiles come from.
+* **Open loop** — a Poisson arrival replay on a
+  :class:`~repro.serving.faults.ManualClock`: arrivals are drawn from the
+  run's seeded RNG, the clock advances to each arrival, and the batcher
+  is pumped exactly when its window expires.  Nothing here depends on
+  host speed — same seed, same batch compositions, same simulated
+  queueing delays — so batching *policy* (batch-size distribution,
+  window-induced waiting) is a reproducible, testable quantity.
+
+Every run also answers a probe set twice — solo through
+``service.predict`` and batched through the pipeline — and records
+byte-for-byte equality: the throughput win must never cost bit-parity.
+
+Members are freshly initialised MLPs (deterministic per seed): serving
+cost depends on architecture and member count, not on the weights'
+training history, and skipping training keeps the harness seconds-fast
+at CI scale.
+
+``repro serve-load`` and ``benchmarks/bench_serving.py`` both drive
+:func:`run_load_suite` — a T × {batching on, off} sweep — and archive
+``results/BENCH_serving.json``; the registered ``serving_load`` grid
+runner makes single cells declarable grid cells.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ensemble import Ensemble
+from repro.models.factory import ModelFactory
+from repro.models.mlp import MLP
+from repro.serving.faults import ManualClock
+from repro.serving.service import InferenceService, ServiceConfig
+from repro.serving.transport import PipelineConfig, ServingPipeline
+
+__all__ = [
+    "LoadConfig",
+    "LoadResult",
+    "build_load_service",
+    "run_load_suite",
+    "run_serve_load",
+]
+
+
+@dataclass
+class LoadConfig:
+    """One load-harness cell: ensemble, traffic shape, pipeline knobs."""
+
+    ensemble_size: int = 8         # T — members serving each request
+    input_dim: int = 16
+    num_classes: int = 10
+    hidden: tuple = (32,)
+    requests: int = 256            # total timed requests (closed loop)
+    rows: int = 8                  # rows per request payload
+    clients: int = 16              # closed-loop concurrency
+    warmup: int = 16               # untimed warmup requests
+    arrival: str = "closed"        # "closed" | "open"
+    rate: float = 2000.0           # open-loop mean arrivals/second
+    batching: bool = True
+    max_batch_rows: int = 128
+    max_wait_ms: float = 5.0
+    queue_depth: int = 1024
+    workers: Optional[int] = None  # member pool size (None: default)
+    probe_requests: int = 16       # bit-parity probe set size
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("closed", "open"):
+            raise ValueError(f"arrival must be 'closed' or 'open', "
+                             f"got {self.arrival!r}")
+        if self.requests < 1 or self.rows < 1 or self.clients < 1:
+            raise ValueError("requests, rows and clients must be >= 1")
+
+
+@dataclass
+class LoadResult:
+    """One cell's measurements, JSON-able."""
+
+    config: Dict
+    seed: int
+    arrival: str
+    batching: bool
+    requests: int
+    seconds: float                 # timed-phase wall seconds (closed loop)
+    qps: float
+    latency_ms: Dict[str, float]   # p50/p95/p99/mean
+    batches_formed: int
+    requests_batched: int
+    mean_batch_requests: float
+    parity_ok: bool                # batched == solo, byte for byte
+    #: Open-loop only: simulated queueing-delay stats on the manual clock.
+    open_loop: Dict = field(default_factory=dict)
+
+    def to_payload(self) -> Dict:
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+def build_load_service(config: LoadConfig,
+                       clock=time.monotonic) -> InferenceService:
+    """A T-member MLP service, deterministic in ``config.seed``."""
+    root = np.random.SeedSequence([0x5E24E10AD, int(config.seed)])
+    streams = root.spawn(config.ensemble_size + 1)
+    alpha_rng = np.random.default_rng(streams[-1])
+    factory = ModelFactory(MLP, input_dim=config.input_dim,
+                           num_classes=config.num_classes,
+                           hidden=tuple(config.hidden))
+    ensemble = Ensemble()
+    for member in range(config.ensemble_size):
+        ensemble.add(factory.build(rng=np.random.default_rng(
+            streams[member])),
+            alpha=float(alpha_rng.uniform(0.5, 1.5)))
+    return InferenceService(ensemble, ServiceConfig(clock=clock))
+
+
+def _payloads(config: LoadConfig, count: int,
+              rng: np.random.Generator) -> List[np.ndarray]:
+    return [rng.normal(size=(config.rows, config.input_dim))
+            .astype(np.float32) for _ in range(count)]
+
+
+def _pipeline_config(config: LoadConfig) -> PipelineConfig:
+    return PipelineConfig(max_batch_rows=config.max_batch_rows,
+                          max_wait_ms=config.max_wait_ms,
+                          queue_depth=config.queue_depth,
+                          workers=config.workers,
+                          batching=config.batching)
+
+
+def _percentiles(latencies: Sequence[float]) -> Dict[str, float]:
+    sample = np.asarray(latencies, dtype=np.float64) * 1000.0
+    return {"p50": float(np.percentile(sample, 50)),
+            "p95": float(np.percentile(sample, 95)),
+            "p99": float(np.percentile(sample, 99)),
+            "mean": float(sample.mean())}
+
+
+def _check_parity(config: LoadConfig, service: InferenceService,
+                  rng: np.random.Generator) -> bool:
+    """Solo vs micro-batched answers on a probe set, compared with ``==``."""
+    probes = _payloads(config, config.probe_requests, rng)
+    solo = [service.predict(x).probs.copy() for x in probes]
+    pipeline = ServingPipeline(service, PipelineConfig(
+        max_batch_rows=config.max_batch_rows, workers=0,
+        queue_depth=max(config.queue_depth, len(probes)))
+    ).start(pump=False)
+    tickets = [pipeline.submit(x) for x in probes]
+    while any(not ticket.done for ticket in tickets):
+        pipeline.batcher.pump_once()
+    batched = [pipeline.result(ticket).probs for ticket in tickets]
+    pipeline.close()
+    return all(np.array_equal(a, b) for a, b in zip(solo, batched))
+
+
+# ----------------------------------------------------------------------
+def _run_closed_loop(config: LoadConfig, service: InferenceService,
+                     rng: np.random.Generator):
+    """C threads in submit→wait→repeat; real-time QPS and percentiles."""
+    payloads = _payloads(config, config.requests + config.warmup, rng)
+    warmup, timed = payloads[:config.warmup], payloads[config.warmup:]
+    latencies: List[float] = []
+    lock = threading.Lock()
+    shares = np.array_split(np.arange(len(timed)), config.clients)
+
+    with ServingPipeline(service, _pipeline_config(config)) as pipeline:
+        for x in warmup:
+            pipeline.predict(x)
+
+        def client(indices) -> None:
+            mine = []
+            for i in indices:
+                begin = time.perf_counter()
+                pipeline.predict(timed[i])
+                mine.append(time.perf_counter() - begin)
+            with lock:
+                latencies.extend(mine)
+
+        threads = [threading.Thread(target=client, args=(share,),
+                                    name=f"load-client-{n}")
+                   for n, share in enumerate(shares) if len(share)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+        stats = (pipeline.batcher.batches_formed,
+                 pipeline.batcher.requests_batched) \
+            if pipeline.batcher else (0, 0)
+    return latencies, seconds, stats
+
+
+def _run_open_loop(config: LoadConfig, rng: np.random.Generator):
+    """Poisson replay on a manual clock: deterministic batching policy."""
+    clock = ManualClock()
+    service = build_load_service(config, clock=clock)
+    pipeline = ServingPipeline(service, _pipeline_config(config))
+    pipeline.start(pump=False)   # manual pumping at exact window expiries
+    arrivals = np.cumsum(rng.exponential(1.0 / config.rate,
+                                         size=config.requests))
+    payloads = _payloads(config, config.requests, rng)
+    window = config.max_wait_ms / 1000.0
+    delays: List[float] = []
+    batch_sizes: List[int] = []
+    tickets = []
+
+    def pump() -> None:
+        drained = pipeline.batcher.pump_once() if pipeline.batcher else 0
+        if drained:
+            batch_sizes.append(drained)
+
+    oldest: Optional[float] = None
+    for arrive, x in zip(arrivals, payloads):
+        # Pump every window expiry that precedes this arrival.
+        while oldest is not None and oldest + window <= arrive:
+            clock.now = oldest + window
+            pump()
+            oldest = None if pipeline.batcher is None or \
+                not pipeline.batcher.depth() else clock.now
+        clock.now = float(arrive)
+        ticket = pipeline.submit(x)
+        tickets.append((ticket, float(arrive)))
+        if ticket.done:              # batching off: answered inline
+            delays.append(0.0)
+        elif oldest is None:
+            oldest = float(arrive)
+        if pipeline.batcher is not None and \
+                pipeline.batcher.depth() * config.rows >= \
+                config.max_batch_rows:
+            pump()                   # prefix full: batch forms immediately
+            oldest = None
+    while pipeline.batcher is not None and pipeline.batcher.depth():
+        clock.advance(window)
+        pump()
+    if pipeline.batcher is not None:
+        for ticket, arrive in tickets:
+            delays.append(max(0.0, ticket.wait(timeout=1.0).latency))
+    pipeline.close()
+    sizes = np.asarray(batch_sizes or [1], dtype=np.float64)
+    delay_ms = np.asarray(delays, dtype=np.float64) * 1000.0
+    return {
+        "simulated_seconds": float(arrivals[-1]),
+        "batch_size_mean": float(sizes.mean()),
+        "batch_size_max": int(sizes.max()),
+        "queueing_delay_ms": {
+            "p50": float(np.percentile(delay_ms, 50)),
+            "p99": float(np.percentile(delay_ms, 99)),
+            "max": float(delay_ms.max()),
+        },
+    }
+
+
+def run_serve_load(config: LoadConfig) -> LoadResult:
+    """Run one load cell; pure function of ``config`` (incl. its seed),
+    up to the wall-clock timings the closed loop exists to measure."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([0x10AD5EED, int(config.seed)]))
+    service = build_load_service(config)
+    parity_ok = _check_parity(config, service, rng)
+
+    open_stats: Dict = {}
+    if config.arrival == "open":
+        open_stats = _run_open_loop(config, rng)
+
+    latencies, seconds, (batches, batched) = _run_closed_loop(
+        config, service, rng)
+    return LoadResult(
+        config=asdict(config), seed=config.seed, arrival=config.arrival,
+        batching=config.batching, requests=len(latencies),
+        seconds=float(seconds),
+        qps=float(len(latencies) / seconds) if seconds > 0 else 0.0,
+        latency_ms=_percentiles(latencies),
+        batches_formed=batches, requests_batched=batched,
+        mean_batch_requests=float(batched / batches) if batches else 0.0,
+        parity_ok=bool(parity_ok),
+        open_loop=open_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+def run_load_suite(ensemble_sizes: Sequence[int] = (1, 4, 8),
+                   seed: int = 0, **overrides) -> Dict:
+    """The benchmark sweep: T × {batching on, off} (+ one open-loop cell).
+
+    Returns the ``BENCH_serving.json`` payload: per-cell QPS and latency
+    percentiles, the batched-vs-solo speedup per T, and the aggregate
+    bit-parity verdict.
+    """
+    cells = []
+    speedups: Dict[str, float] = {}
+    for size in ensemble_sizes:
+        by_batching = {}
+        for batching in (False, True):
+            result = run_serve_load(LoadConfig(
+                ensemble_size=int(size), batching=batching, seed=seed,
+                **overrides))
+            cells.append(result.to_payload())
+            by_batching[batching] = result
+        off, on = by_batching[False], by_batching[True]
+        speedups[str(size)] = float(on.qps / off.qps) if off.qps else 0.0
+    open_loop = run_serve_load(LoadConfig(
+        ensemble_size=int(ensemble_sizes[-1]), arrival="open",
+        batching=True, seed=seed, **overrides))
+    cells.append(open_loop.to_payload())
+    return {
+        "harness": "serve-load",
+        "seed": int(seed),
+        "ensemble_sizes": [int(size) for size in ensemble_sizes],
+        "cells": cells,
+        "qps_speedup_batched": speedups,
+        "parity_ok": bool(all(cell["parity_ok"] for cell in cells)),
+    }

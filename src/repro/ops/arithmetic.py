@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ops.batching import batch_cell_rows, blocked_matmul
 from repro.ops.registry import register
 
 
@@ -71,6 +72,13 @@ def _pow_backward(ctx, g):
 
 def _matmul_forward(ctx, x, y):
     ctx.x, ctx.y = x, y
+    # Micro-batched serving declares a request-cell size: 2-D GEMMs then
+    # run block-by-block at that row count so each coalesced request sees
+    # the exact BLAS geometry of a solo call (see repro.ops.batching).
+    cell = batch_cell_rows()
+    if cell is not None and x.ndim == 2 and y.ndim == 2 and \
+            x.shape[0] > cell:
+        return blocked_matmul(x, y, cell)
     return x @ y
 
 

@@ -12,23 +12,42 @@ soon as the op's backward has run (or immediately when the op is not
 taped, e.g. under the inference fast path).  Buffers referenced by a graph
 that is never backpropagated are simply garbage-collected — the pool only
 tracks free buffers, never checked-out ones.
+
+Thread safety: the free lists are **thread-local**.  The concurrent
+serving executor runs member forwards on a thread pool, and a shared
+free list would let two conv kernels pop the *same* buffer and overwrite
+each other's patch matrices mid-GEMM.  Per-thread pools make
+acquire/release lock-free and race-free; the acquire→release pair always
+happens on one thread (the dispatcher releases in the same call stack
+that acquired), so buffers never migrate between pools.  The cost is one
+steady-state buffer set per worker thread — bounded by the executor's
+pool size.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 _MAX_PER_KEY = 8
 
-_free: Dict[Tuple[tuple, np.dtype], List[np.ndarray]] = {}
+_local = threading.local()
+
+
+def _free() -> Dict[Tuple[tuple, np.dtype], List[np.ndarray]]:
+    """This thread's free lists (created empty on first touch)."""
+    pool = getattr(_local, "free", None)
+    if pool is None:
+        pool = _local.free = {}
+    return pool
 
 
 def acquire(shape: tuple, dtype) -> np.ndarray:
     """Return an uninitialised buffer of ``shape``/``dtype`` from the pool."""
     key = (tuple(shape), np.dtype(dtype))
-    stack = _free.get(key)
+    stack = _free().get(key)
     if stack:
         return stack.pop()
     return np.empty(shape, dtype=dtype)
@@ -37,16 +56,16 @@ def acquire(shape: tuple, dtype) -> np.ndarray:
 def release(array: np.ndarray) -> None:
     """Return a buffer acquired via :func:`acquire` to the pool."""
     key = (array.shape, array.dtype)
-    stack = _free.setdefault(key, [])
+    stack = _free().setdefault(key, [])
     if len(stack) < _MAX_PER_KEY:
         stack.append(array)
 
 
 def clear() -> None:
-    """Drop every pooled buffer (tests; memory pressure)."""
-    _free.clear()
+    """Drop this thread's pooled buffers (tests; memory pressure)."""
+    _free().clear()
 
 
 def pooled_bytes() -> int:
-    """Total bytes currently held by free pooled buffers."""
-    return sum(b.nbytes for stack in _free.values() for b in stack)
+    """Total bytes currently held by this thread's free pooled buffers."""
+    return sum(b.nbytes for stack in _free().values() for b in stack)

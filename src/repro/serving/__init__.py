@@ -15,8 +15,18 @@ contract around :class:`InferenceService`:
   fault harness (:mod:`repro.serving.faults`) shared by the test suite
   and the ``repro serve-eval --inject`` CLI.
 
-See ``docs/architecture.md`` ("Serving and graceful degradation") for the
-error taxonomy and the quorum/breaker state machine.
+The concurrent request path lives in three sub-layers stacked *above*
+this package (imported directly, never from here, to keep the layer
+graph acyclic): :mod:`repro.serving.scheduler` (bounded queue + adaptive
+micro-batcher), :mod:`repro.serving.executor` (members on a thread
+pool), and :mod:`repro.serving.transport` (:class:`ServingPipeline`,
+the async ``submit/poll/result`` front door).  The drift machinery
+(:mod:`repro.serving.monitor` / :mod:`repro.serving.repair`) sits beside
+them the same way.
+
+See ``docs/architecture.md`` ("Serving and graceful degradation", "The
+concurrent pipeline") for the error taxonomy, the quorum/breaker state
+machine and the pipeline's thread-safety contract.
 """
 
 from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker

@@ -22,10 +22,20 @@ failed probe re-opens it for another full cooldown.
 Time comes from an injectable ``clock`` (``time.monotonic`` by default)
 so tests and the fault harness drive the state machine deterministically
 with a manual clock instead of sleeping.
+
+Thread safety: the concurrent serving executor calls ``allow`` /
+``record_*`` from pool threads while the repair loop may ``trip`` /
+``reinstate`` administratively, so every state transition is a
+read-modify-write guarded by one reentrant lock.  In particular the
+OPEN → HALF_OPEN probe admission is atomic: of N threads racing
+``allow()`` after the cooldown, exactly one wins the probe slot and the
+rest stay gated — the "exactly one probe in flight" invariant holds
+under concurrency, not just in the sequential loop.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional
 
@@ -47,6 +57,9 @@ class CircuitBreaker:
         self.fault_threshold = int(fault_threshold)
         self.cooldown = float(cooldown)
         self.clock = clock
+        # Reentrant: describe() reads the state while a transition path
+        # (which already holds the lock) may build a description.
+        self._lock = threading.RLock()
         self.state = CLOSED
         self.state_since = self.clock()
         self.consecutive_faults = 0
@@ -63,34 +76,39 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """May the member serve this request?  Advances OPEN → HALF_OPEN."""
-        if self.state == CLOSED:
-            return True
-        if self.state == OPEN:
-            if self.clock() - self.opened_at >= self.cooldown:
-                self._set_state(HALF_OPEN)
+        with self._lock:
+            if self.state == CLOSED:
                 return True
+            if self.state == OPEN:
+                if self.clock() - self.opened_at >= self.cooldown:
+                    # Atomic under the lock: the first caller past the
+                    # cooldown takes the HALF_OPEN probe slot; concurrent
+                    # callers land in the branch below and are gated.
+                    self._set_state(HALF_OPEN)
+                    return True
+                return False
+            # HALF_OPEN: a probe was already admitted and has not
+            # reported back — keep the gate shut until it does.
             return False
-        # HALF_OPEN: a probe was already admitted and has not reported
-        # back; with the sequential predict loop this only happens if the
-        # probe itself crashed the request — keep the gate shut.
-        return False
 
     def record_success(self) -> None:
-        self.total_calls += 1
-        self.consecutive_faults = 0
-        if self.state in (HALF_OPEN, OPEN):
-            self.opened_at = None
-        self._set_state(CLOSED)
+        with self._lock:
+            self.total_calls += 1
+            self.consecutive_faults = 0
+            if self.state in (HALF_OPEN, OPEN):
+                self.opened_at = None
+            self._set_state(CLOSED)
 
     def record_fault(self, reason: str) -> None:
-        self.total_calls += 1
-        self.total_faults += 1
-        self.consecutive_faults += 1
-        self.last_fault_reason = reason
-        if self.state == HALF_OPEN or \
-                self.consecutive_faults >= self.fault_threshold:
-            self._set_state(OPEN)
-            self.opened_at = self.clock()
+        with self._lock:
+            self.total_calls += 1
+            self.total_faults += 1
+            self.consecutive_faults += 1
+            self.last_fault_reason = reason
+            if self.state == HALF_OPEN or \
+                    self.consecutive_faults >= self.fault_threshold:
+                self._set_state(OPEN)
+                self.opened_at = self.clock()
 
     # -- administrative transitions (the repair loop) ------------------
     def trip(self, reason: str) -> None:
@@ -102,32 +120,37 @@ class CircuitBreaker:
         stays excluded until ``cooldown`` elapses or :meth:`reinstate`
         restores it.
         """
-        self.last_fault_reason = reason
-        self.consecutive_faults = max(self.consecutive_faults,
-                                      self.fault_threshold)
-        self._set_state(OPEN)
-        self.opened_at = self.clock()
+        with self._lock:
+            self.last_fault_reason = reason
+            self.consecutive_faults = max(self.consecutive_faults,
+                                          self.fault_threshold)
+            self._set_state(OPEN)
+            self.opened_at = self.clock()
 
     def reinstate(self) -> None:
         """Force the breaker CLOSED (rollback of an administrative trip)."""
-        self.consecutive_faults = 0
-        self.opened_at = None
-        self._set_state(CLOSED)
+        with self._lock:
+            self.consecutive_faults = 0
+            self.opened_at = None
+            self._set_state(CLOSED)
 
     # ------------------------------------------------------------------
     @property
     def quarantined(self) -> bool:
         """True while the member is excluded (cooldown not yet expired)."""
-        return self.state == OPEN and \
-            self.clock() - self.opened_at < self.cooldown
+        with self._lock:
+            return self.state == OPEN and \
+                self.clock() - self.opened_at < self.cooldown
 
     def state_age(self) -> float:
         """Seconds spent in the current state (health reporting)."""
-        return self.clock() - self.state_since
+        with self._lock:
+            return self.clock() - self.state_since
 
     def describe(self) -> str:
-        if self.state == CLOSED:
-            return "closed"
-        reason = self.last_fault_reason or "faults"
-        return (f"{self.state} after {self.consecutive_faults} consecutive "
-                f"fault(s); last: {reason}")
+        with self._lock:
+            if self.state == CLOSED:
+                return "closed"
+            reason = self.last_fault_reason or "faults"
+            return (f"{self.state} after {self.consecutive_faults} "
+                    f"consecutive fault(s); last: {reason}")

@@ -1,0 +1,184 @@
+"""The member-execution layer: ensemble members on a thread pool.
+
+The sequential reference loop in
+:meth:`~repro.serving.service.InferenceService.predict` evaluates the T
+members one after another, so serving cost scales T× with zero overlap.
+:class:`MemberExecutor` runs the same per-member protocol — breaker
+admission at start, :meth:`ServingMember.predict`, fault conversion —
+as one task per member on a shared :class:`ThreadPoolExecutor`.  The
+heavy kernels underneath (BLAS GEMMs, the conv im2col + GEMM pipeline)
+release the GIL, so members genuinely overlap on multicore hosts; on a
+single core the pool degenerates gracefully to interleaved execution.
+
+Execution semantics mirror the serial loop:
+
+* breaker admission happens when the member's task *starts* (not at
+  submit), so a member quarantined mid-batch by a concurrent fault is
+  still skipped — and the HALF_OPEN single-probe invariant holds because
+  :meth:`CircuitBreaker.allow` is atomic;
+* results are collected **in roster order**, so the α aggregation in
+  :meth:`InferenceService.finish` accumulates in exactly the sequential
+  order — bit-identical answers regardless of completion order;
+* with a ``deadline``, members whose task has not started when the
+  budget expires are cancelled and skipped (the serial rule), and a
+  member still *running* at the deadline is abandoned: its result is
+  discarded, the thread finishes in the background, and its breaker is
+  still charged by the member itself.
+
+``workers=0`` selects inline execution (no pool, no extra threads) —
+the same code path run sequentially, which keeps manual-clock tests
+deterministic.
+
+Thread-safety contract: stateless apart from the pool; every call gets
+its roster snapshot from the caller, so hot swaps can never tear a
+running batch.  The optional ``cell`` argument wraps each member task in
+:func:`repro.ops.batching.batch_cell`, making stacked micro-batches
+bit-identical to solo execution (the context is thread-local, hence set
+inside the task, not around the pool).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ops.batching import batch_cell
+from repro.serving.errors import MemberFault
+from repro.serving.members import ServingMember
+from repro.serving.service import SKIP_DEADLINE, SKIP_FAULT, SKIP_QUARANTINED
+
+__all__ = ["MemberExecutor"]
+
+#: (member, probs) successes in roster order; (index, kind, reason) skips.
+MemberOutputs = List[Tuple[ServingMember, np.ndarray]]
+MemberSkips = List[Tuple[int, str, str]]
+
+
+def _run_member(member: ServingMember, x: np.ndarray, batch_size: int,
+                cell: Optional[int]) -> Tuple[str, object]:
+    """One member task: breaker admission, prediction, fault conversion."""
+    if not member.breaker.allow():
+        return (SKIP_QUARANTINED, member.breaker.describe())
+    try:
+        if cell is not None:
+            with batch_cell(cell):
+                return ("ok", member.predict(x, batch_size=batch_size))
+        return ("ok", member.predict(x, batch_size=batch_size))
+    except MemberFault as fault:
+        return (SKIP_FAULT, fault.reason)
+
+
+class MemberExecutor:
+    """Run a roster of members concurrently (or inline with ``workers=0``).
+
+    One executor is shared across all requests of a pipeline; tasks are
+    per-(request, member) and carry no state between calls.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if workers is None or workers > 0:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-member")
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    # ------------------------------------------------------------------
+    def run(self, members: Sequence[ServingMember], x: np.ndarray,
+            batch_size: int, deadline: Optional[float] = None,
+            started: Optional[float] = None,
+            cell: Optional[int] = None,
+            ) -> Tuple[MemberOutputs, MemberSkips, bool]:
+        """Evaluate ``members`` on ``x``; returns (outputs, skipped, hit).
+
+        ``outputs`` preserves roster order.  ``deadline`` is a wall-clock
+        budget measured on the executor's clock from ``started``
+        (defaulting to now); deadline enforcement needs a real clock —
+        manual-clock determinism belongs to the serial path.
+        """
+        if started is None:
+            started = self.clock()
+        if self._pool is None:
+            return self._run_inline(members, x, batch_size, deadline,
+                                    started, cell)
+        futures = [self._pool.submit(_run_member, member, x, batch_size,
+                                     cell)
+                   for member in members]
+        outputs: MemberOutputs = []
+        skipped: MemberSkips = []
+        deadline_hit = False
+        for member, future in zip(members, futures):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (self.clock() - started)
+            try:
+                if remaining is not None and remaining <= 0:
+                    # Budget spent: cancel if not started; else the task
+                    # is running — give it no extra time.
+                    if future.cancel():
+                        raise CancelledError
+                    kind, value = future.result(timeout=0)
+                else:
+                    kind, value = future.result(timeout=remaining)
+            except CancelledError:
+                deadline_hit = True
+                skipped.append((member.index, SKIP_DEADLINE,
+                                f"not started within the {deadline:g}s "
+                                "deadline"))
+                continue
+            except FutureTimeout:
+                # Started but unfinished at the deadline: abandon it.
+                # The thread completes in the background (charging the
+                # breaker as usual); the result is discarded.
+                deadline_hit = True
+                skipped.append((member.index, SKIP_DEADLINE,
+                                f"did not finish within the {deadline:g}s "
+                                "deadline"))
+                continue
+            if kind == "ok":
+                outputs.append((member, value))
+            else:
+                skipped.append((member.index, kind, value))
+        return outputs, skipped, deadline_hit
+
+    def _run_inline(self, members: Sequence[ServingMember], x: np.ndarray,
+                    batch_size: int, deadline: Optional[float],
+                    started: float, cell: Optional[int],
+                    ) -> Tuple[MemberOutputs, MemberSkips, bool]:
+        """``workers=0``: the serial loop, deterministic under any clock."""
+        outputs: MemberOutputs = []
+        skipped: MemberSkips = []
+        deadline_hit = False
+        for member in members:
+            if deadline is not None and \
+                    self.clock() - started >= deadline:
+                deadline_hit = True
+                skipped.append((member.index, SKIP_DEADLINE,
+                                f"not started within the {deadline:g}s "
+                                "deadline"))
+                continue
+            kind, value = _run_member(member, x, batch_size, cell)
+            if kind == "ok":
+                outputs.append((member, value))
+            else:
+                skipped.append((member.index, kind, value))
+        return outputs, skipped, deadline_hit
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MemberExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

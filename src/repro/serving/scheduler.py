@@ -1,0 +1,216 @@
+"""The scheduling layer: a bounded queue and an adaptive micro-batcher.
+
+Ensemble inference is dominated by per-dispatch overhead at serving
+batch sizes: a request of a few rows pays the full Python/op-dispatch
+cost per member, so T members × many small requests is mostly overhead.
+Coalescing K concurrent requests into one stacked forward amortises that
+cost K× — the classic dynamic-batching lever of model servers.
+
+:class:`MicroBatcher` implements it with two knobs:
+
+* ``max_batch_rows`` — a formed batch never exceeds this many stacked
+  rows (bounds memory and worst-case latency);
+* ``max_wait_ms`` — how long the oldest queued request may wait for
+  company before the batch is formed anyway (bounds added latency under
+  low traffic; ``0`` batches only what is already queued).
+
+Requests are admitted to a **bounded** FIFO queue (depth
+``queue_depth``); an admission beyond the bound raises
+:class:`QueueFull` — backpressure surfaces at the front door instead of
+growing an unbounded backlog.  A batch is the *maximal FIFO prefix of
+equal row counts*: stacking only same-sized requests means every block
+boundary of the stacked array is a request boundary, which is what lets
+the batch-invariant GEMM blocking (:mod:`repro.ops.batching`) make
+batched answers bit-identical to solo ones.  Mixed-size traffic still
+batches — each size run drains as its own batch — it just never mixes
+sizes inside one stack.
+
+Two pump modes:
+
+* :meth:`pump_once` — synchronous: form and process at most one batch on
+  the calling thread.  Deterministic under any clock; what tests and the
+  load harness's open-loop replay drive.
+* :meth:`start` — a background daemon thread that waits on a condition
+  variable, honours ``max_wait_ms`` with real timed waits, and processes
+  batches as they form.  Requires a real (monotonic) clock.
+
+The batcher knows nothing about ensembles: it hands ``process(stacked,
+requests)`` the concatenated payload and the pending entries, and the
+transport layer does validation, execution and per-request slicing.
+``process`` must not raise; the transport routes per-request failures
+through the tickets it owns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["MicroBatcher", "PendingRequest", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: the bounded request queue is at capacity."""
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: validated payload plus an opaque ticket."""
+
+    x: np.ndarray                 # validated, shape (rows, ...)
+    ticket: Any                   # transport-owned completion handle
+    enqueued: float               # scheduler-clock admission time
+    rows: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rows = int(len(self.x))
+
+
+class MicroBatcher:
+    """Coalesce queued requests into same-row-count stacked batches."""
+
+    def __init__(self, process: Callable[[np.ndarray, List[PendingRequest]],
+                                         None],
+                 max_batch_rows: int = 128, max_wait_ms: float = 2.0,
+                 queue_depth: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.process = process
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.queue_depth = int(queue_depth)
+        self.clock = clock
+        self._queue: List[PendingRequest] = []
+        self._cond = threading.Condition()
+        self._pump: Optional[threading.Thread] = None
+        self._running = False
+        self.batches_formed = 0
+        self.requests_batched = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray, ticket: Any) -> PendingRequest:
+        """Admit one request; raises :class:`QueueFull` at capacity."""
+        pending = PendingRequest(x=x, ticket=ticket, enqueued=self.clock())
+        with self._cond:
+            if len(self._queue) >= self.queue_depth:
+                raise QueueFull(
+                    f"request queue at capacity ({self.queue_depth})")
+            self._queue.append(pending)
+            self._cond.notify()
+        return pending
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _form_batch(self) -> List[PendingRequest]:
+        """Pop the maximal same-row-count FIFO prefix (caller holds lock)."""
+        if not self._queue:
+            return []
+        rows = self._queue[0].rows
+        take = 0
+        total = 0
+        for pending in self._queue:
+            if pending.rows != rows:
+                break
+            if take and total + pending.rows > self.max_batch_rows:
+                break
+            total += pending.rows
+            take += 1
+        batch = self._queue[:take]
+        del self._queue[:take]
+        return batch
+
+    def _dispatch(self, batch: List[PendingRequest]) -> None:
+        if not batch:
+            return
+        self.batches_formed += 1
+        self.requests_batched += len(batch)
+        stacked = batch[0].x if len(batch) == 1 else \
+            np.concatenate([pending.x for pending in batch], axis=0)
+        self.process(stacked, batch)
+
+    def pump_once(self) -> int:
+        """Form and process one batch now; returns requests drained.
+
+        Synchronous and clock-agnostic: ``max_wait_ms`` does not apply —
+        whatever is queued right now is eligible.  The deterministic
+        drive mode for tests and replay harnesses.
+        """
+        with self._cond:
+            batch = self._form_batch()
+        self._dispatch(batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Launch the background pump (idempotent); real clock required."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._pump = threading.Thread(target=self._pump_loop,
+                                          name="repro-batcher", daemon=True)
+            self._pump.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the pump (if any) and drain what is already queued."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        if self._pump is not None:
+            self._pump.join()
+            self._pump = None
+        while self.pump_once():
+            pass
+
+    def _pump_loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._queue:
+                    self._cond.wait()
+                if not self._running:
+                    return
+                # Batching window: wait for company until the oldest
+                # request ages past max_wait or the prefix fills up.
+                while self._running:
+                    age = self.clock() - self._queue[0].enqueued
+                    prefix_rows = self._prefix_rows()
+                    if age >= self.max_wait or \
+                            prefix_rows >= self.max_batch_rows:
+                        break
+                    self._cond.wait(timeout=max(self.max_wait - age, 1e-4))
+                    if not self._queue:
+                        break
+                batch = self._form_batch()
+            self._dispatch(batch)
+
+    def _prefix_rows(self) -> int:
+        """Stacked rows the current same-size prefix would contribute."""
+        if not self._queue:
+            return 0
+        rows = self._queue[0].rows
+        total = 0
+        for pending in self._queue:
+            if pending.rows != rows:
+                break
+            total += pending.rows
+        return total
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

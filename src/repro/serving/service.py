@@ -31,6 +31,24 @@ Aggregation is arithmetic-identical to
 members — same weight normalisation, same accumulation order — so a
 degraded answer is *bit-identical* to what a freshly built ensemble of
 the surviving members would produce.  Tests assert exactly that.
+
+Since the concurrent-pipeline split this module is the *policy* core of
+the serving stack: validation, roster bookkeeping, the α aggregation
+arithmetic and the health surface.  The mechanics of running members on
+a thread pool live in :mod:`repro.serving.executor`, request coalescing
+in :mod:`repro.serving.scheduler`, and the async ``submit/poll/result``
+front door in :mod:`repro.serving.transport` — all of which reuse
+:meth:`InferenceService.roster_snapshot` / :meth:`InferenceService.finish`
+so every path shares one aggregation (and one set of counters).
+:meth:`predict` itself stays the sequential reference implementation.
+
+Thread-safety contract: roster mutation (``replace_member``) and roster
+reads (``predict``/``health``/``roster_snapshot``) synchronise on the
+swap lock; request counters have their own lock; breaker state is locked
+inside :class:`~repro.serving.breaker.CircuitBreaker`.  ``health()``
+therefore returns a mutually consistent snapshot — member list, breaker
+states and swap count taken under one lock acquisition, never a torn
+mid-swap mix.
 """
 
 from __future__ import annotations
@@ -176,6 +194,8 @@ class InferenceService:
         # once per request, so an in-flight prediction sees either the
         # full old roster or the full new one, never a torn mix.
         self._swap_lock = threading.Lock()
+        # Request counters are bumped from executor/transport threads too.
+        self._stats_lock = threading.Lock()
         self._member_swaps = 0
         #: Optional drift monitor (duck-typed: anything with
         #: ``alarm_summary() -> Dict[str, bool]``); surfaced in health().
@@ -223,20 +243,14 @@ class InferenceService:
         valid output.
         """
         if deadline is not None and deadline <= 0:
-            self._rejected += 1
+            self.count_rejected()
             raise InvalidRequest(
                 f"deadline must be positive, got {deadline}", field="deadline")
-        try:
-            x = self._validate(x)
-        except InvalidRequest:
-            self._rejected += 1
-            raise
+        x = self.validate(x)
         started = self.clock()
         # Snapshot the roster and its configured α mass as one consistent
         # pair; a concurrent replace_member cannot tear this request.
-        with self._swap_lock:
-            members = self.members
-            alpha_configured = self._alpha_configured
+        members, alpha_configured = self.roster_snapshot()
         outputs: List[Tuple[ServingMember, np.ndarray]] = []
         skipped: List[Tuple[int, str, str]] = []
         deadline_hit = False
@@ -258,20 +272,48 @@ class InferenceService:
                 skipped.append((member.index, SKIP_FAULT, fault.reason))
                 continue
             outputs.append((member, probs))
+        return self.finish(outputs, skipped, alpha_configured,
+                           deadline_hit=deadline_hit,
+                           latency=self.clock() - started)
+
+    # -- shared building blocks (serial predict + concurrent pipeline) --
+    def roster_snapshot(self) -> Tuple[List[ServingMember], float]:
+        """The roster and its configured α mass, as one consistent pair.
+
+        Copy-on-write makes the returned list immutable in practice: a
+        concurrent :meth:`replace_member` publishes a *new* list, so a
+        holder of this snapshot sees either the full old ensemble or the
+        full new one, never a torn mix.
+        """
+        with self._swap_lock:
+            return self.members, self._alpha_configured
+
+    def finish(self, outputs: List[Tuple[ServingMember, np.ndarray]],
+               skipped: List[Tuple[int, str, str]],
+               alpha_configured: float, deadline_hit: bool,
+               latency: float) -> ServedPrediction:
+        """Aggregate completed member outputs into one answer.
+
+        The single place the Eq. 16 arithmetic lives: bit-identical to
+        :meth:`Ensemble.predict_probs` over the completed members — same
+        normalisation, same accumulation order — whichever execution
+        path (serial loop, thread pool, micro-batch) produced them.
+        ``outputs`` must be in roster order.  Raises
+        :class:`ServiceUnavailable` (and counts it) when empty.
+        """
         if not outputs:
-            self._unavailable += 1
+            self.count_unavailable()
             reasons = "; ".join(f"member {i} {kind}: {why}"
                                 for i, kind, why in skipped) or "no members"
             raise ServiceUnavailable(f"no member produced an answer "
                                      f"({reasons})")
-        # Bit-identical to Ensemble.predict_probs over the completed
-        # members: same normalisation, same accumulation order.
         alphas = np.asarray([member.alpha for member, _ in outputs])
         weights = alphas / alphas.sum()
         combined = np.zeros_like(outputs[0][1])
         for weight, (_, probs) in zip(weights, outputs):
             combined += weight * probs
-        self._served += 1
+        with self._stats_lock:
+            self._served += 1
         mass = 1.0 if alpha_configured <= 0 else \
             float(alphas.sum() / alpha_configured)
         return ServedPrediction(
@@ -280,10 +322,26 @@ class InferenceService:
             members_skipped=skipped,
             alpha_mass=mass,
             deadline_hit=deadline_hit,
-            latency=self.clock() - started,
+            latency=latency,
             member_probs={member.index: probs for member, probs in outputs}
             if self.config.expose_member_probs else None,
         )
+
+    def count_rejected(self) -> None:
+        with self._stats_lock:
+            self._rejected += 1
+
+    def count_unavailable(self) -> None:
+        with self._stats_lock:
+            self._unavailable += 1
+
+    def validate(self, x) -> np.ndarray:
+        """Screen one request payload; counts and raises on rejection."""
+        try:
+            return self._validate(x)
+        except InvalidRequest:
+            self.count_rejected()
+            raise
 
     def _validate(self, x) -> np.ndarray:
         spec = self.config.input_spec
@@ -359,18 +417,31 @@ class InferenceService:
 
     # ------------------------------------------------------------------
     def health(self) -> ServiceHealth:
-        """Current liveness/readiness snapshot (cheap; no model runs)."""
+        """Current liveness/readiness snapshot (cheap; no model runs).
+
+        The roster, its configured α mass and the swap counter are read
+        under the swap lock, so a snapshot racing ``replace_member``
+        reports either the pre-swap or the post-swap service — member
+        lists, breaker states and ``member_swaps`` stay mutually
+        consistent, never a torn mid-swap mix.
+        """
+        with self._swap_lock:
+            members = self.members
+            alpha_configured = self._alpha_configured
+            member_swaps = self._member_swaps
+        with self._stats_lock:
+            served, rejected = self._served, self._rejected
+            unavailable = self._unavailable
         live, quarantined = [], {}
         alpha_live = 0.0
-        members = self.members
         for member in members:
             if member.breaker.quarantined:
                 quarantined[member.index] = member.breaker.describe()
             else:
                 live.append(member.index)
                 alpha_live += member.alpha
-        mass = 1.0 if self._alpha_configured <= 0 else \
-            alpha_live / self._alpha_configured
+        mass = 1.0 if alpha_configured <= 0 else \
+            alpha_live / alpha_configured
         report = self.load_report
         load_summary = ""
         if report.degraded:
@@ -389,9 +460,9 @@ class InferenceService:
                              for drop in report.dropped},
             min_members=self.min_members,
             effective_alpha_mass=mass,
-            requests_served=self._served,
-            requests_rejected=self._rejected,
-            requests_unavailable=self._unavailable,
+            requests_served=served,
+            requests_rejected=rejected,
+            requests_unavailable=unavailable,
             member_faults={member.index: member.breaker.total_faults
                            for member in members
                            if member.breaker.total_faults},
@@ -401,5 +472,5 @@ class InferenceService:
             load_summary=load_summary,
             monitor_alarms=dict(self.monitor.alarm_summary())
             if self.monitor is not None else {},
-            member_swaps=self._member_swaps,
+            member_swaps=member_swaps,
         )

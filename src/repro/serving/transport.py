@@ -1,0 +1,243 @@
+"""The transport layer: an async front door over the serving pipeline.
+
+:class:`ServingPipeline` composes the three serving layers into the
+concurrent request path::
+
+    submit() ──► MicroBatcher ──► MemberExecutor ──► finish() ──► Ticket
+    (validate)   (coalesce        (members on a      (Eq. 16 α
+                  same-size        thread pool,       aggregate,
+                  requests)        blocked GEMMs)     per request)
+
+* :meth:`submit` validates the payload (the service's counters see every
+  rejection), enqueues it and returns a :class:`Ticket`;
+* :meth:`poll` asks whether a ticket's answer is ready;
+* :meth:`result` blocks for the answer (re-raising the request's
+  failure, e.g. :class:`ServiceUnavailable` when every member was lost);
+* :meth:`predict` is the blocking wrapper — submit then result — with
+  the same signature and semantics as
+  :meth:`InferenceService.predict`.
+
+**Bit-parity.**  A batch stacks only same-row-count requests (the
+scheduler's invariant) and each member evaluates the stack under
+:func:`repro.ops.batching.batch_cell`, so every request's rows travel
+through exactly the GEMM geometry of a solo call; slicing the stacked
+softmax rows back apart and aggregating per request through
+:meth:`InferenceService.finish` therefore answers **bit-identically** to
+``service.predict`` for that request alone.  The property test asserts
+equality with ``==``, not ``allclose``.
+
+**Deadlines.**  A deadline-bearing request skips the queue: its budget
+starts ticking at submit, and burning it in a batching window would be
+self-defeating.  It runs immediately on the member executor (parallel
+members, partial α-renormalised aggregate over whatever finished), so
+``submit`` with a deadline completes the ticket synchronously.
+
+**Consistency.**  Each batch takes one
+:meth:`~InferenceService.roster_snapshot` — the copy-on-write roster
+published under the swap lock — so a concurrent hot swap can never tear
+a batch: it answers entirely from the pre-swap or entirely from the
+post-swap ensemble.
+
+Thread-safety contract: tickets are single-producer (the pump or the
+submitting thread) / multi-consumer (poll/result from anywhere);
+pipeline shutdown drains the queue so no ticket is left pending.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serving.errors import InvalidRequest, ServiceUnavailable
+from repro.serving.executor import MemberExecutor
+from repro.serving.scheduler import MicroBatcher, PendingRequest, QueueFull
+from repro.serving.service import InferenceService, ServedPrediction
+
+__all__ = ["PipelineConfig", "ServingPipeline", "Ticket"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs for :class:`ServingPipeline`.
+
+    ``batching=False`` degrades the pipeline to per-request execution
+    (still through the member executor) — the load harness's baseline.
+    ``workers=0`` runs members inline instead of on a pool.
+    ``batch_invariant=False`` drops the blocked-GEMM guarantee (answers
+    may differ from solo in the last ulp; marginally faster) — kept as
+    an escape hatch and for measuring the cost of the guarantee.
+    """
+
+    max_batch_rows: int = 128
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    workers: Optional[int] = None      # None: pool default; 0: inline
+    batching: bool = True
+    batch_invariant: bool = True
+
+
+class Ticket:
+    """A submitted request's completion handle (one answer, one error)."""
+
+    __slots__ = ("_event", "_prediction", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._prediction: Optional[ServedPrediction] = None
+        self._error: Optional[BaseException] = None
+
+    def _complete(self, prediction: ServedPrediction) -> None:
+        self._prediction = prediction
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> ServedPrediction:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not answered within {timeout:g}s")
+        if self._error is not None:
+            raise self._error
+        return self._prediction
+
+
+class ServingPipeline:
+    """Concurrent micro-batching front end over an :class:`InferenceService`.
+
+    Use as a context manager (or call :meth:`start`/:meth:`close`): the
+    batcher's pump thread and the member pool are real resources.
+    """
+
+    def __init__(self, service: InferenceService,
+                 config: Optional[PipelineConfig] = None):
+        self.service = service
+        self.config = config or PipelineConfig()
+        self.clock = service.clock
+        self.executor = MemberExecutor(workers=self.config.workers,
+                                       clock=self.clock)
+        self.batcher: Optional[MicroBatcher] = None
+        if self.config.batching:
+            self.batcher = MicroBatcher(
+                process=self._process_batch,
+                max_batch_rows=self.config.max_batch_rows,
+                max_wait_ms=self.config.max_wait_ms,
+                queue_depth=self.config.queue_depth,
+                clock=self.clock)
+
+    # ------------------------------------------------------------------
+    def start(self, pump: bool = True) -> "ServingPipeline":
+        """Start the background pump (``pump=False``: drive ``pump_once``
+        manually — the deterministic mode)."""
+        if self.batcher is not None and pump:
+            self.batcher.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the pump (draining queued requests) and the member pool."""
+        if self.batcher is not None:
+            self.batcher.stop()
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ServingPipeline":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit(self, x, deadline: Optional[float] = None) -> Ticket:
+        """Validate and enqueue one request; returns its :class:`Ticket`.
+
+        Raises :class:`InvalidRequest` for malformed payloads and
+        :class:`ServiceUnavailable` when the bounded queue is full
+        (backpressure).  Deadline-bearing requests execute immediately
+        (see module docstring) and return an already-completed ticket.
+        """
+        if deadline is not None and deadline <= 0:
+            self.service.count_rejected()
+            raise InvalidRequest(
+                f"deadline must be positive, got {deadline}",
+                field="deadline")
+        x = self.service.validate(x)
+        ticket = Ticket()
+        if deadline is not None or self.batcher is None:
+            self._execute_solo(x, ticket, deadline)
+            return ticket
+        try:
+            self.batcher.submit(x, ticket)
+        except QueueFull as error:
+            self.service.count_unavailable()
+            raise ServiceUnavailable(str(error)) from error
+        return ticket
+
+    def poll(self, ticket: Ticket) -> bool:
+        """Is the ticket's answer ready?  Never blocks."""
+        return ticket.done
+
+    def result(self, ticket: Ticket,
+               timeout: Optional[float] = None) -> ServedPrediction:
+        """Block for the ticket's answer (re-raising its failure)."""
+        return ticket.wait(timeout)
+
+    def predict(self, x,
+                deadline: Optional[float] = None) -> ServedPrediction:
+        """Blocking submit+result — the :meth:`InferenceService.predict`
+        signature served through the concurrent pipeline."""
+        return self.result(self.submit(x, deadline=deadline))
+
+    # ------------------------------------------------------------------
+    def _execute_solo(self, x: np.ndarray, ticket: Ticket,
+                      deadline: Optional[float]) -> None:
+        """Run one request through the executor, bypassing the batcher."""
+        started = self.clock()
+        try:
+            members, alpha_configured = self.service.roster_snapshot()
+            outputs, skipped, deadline_hit = self.executor.run(
+                members, x, batch_size=self.service.config.batch_size,
+                deadline=deadline, started=started)
+            ticket._complete(self.service.finish(
+                outputs, skipped, alpha_configured,
+                deadline_hit=deadline_hit,
+                latency=self.clock() - started))
+        except BaseException as error:  # noqa: BLE001 — routed to waiter
+            ticket._fail(error)
+
+    def _process_batch(self, stacked: np.ndarray,
+                       batch: List[PendingRequest]) -> None:
+        """The batcher's process hook: one stacked forward, per-request
+        slicing and aggregation.  Must not raise (scheduler contract):
+        every failure lands on the tickets."""
+        rows = batch[0].rows
+        try:
+            members, alpha_configured = self.service.roster_snapshot()
+            outputs, skipped, _hit = self.executor.run(
+                members, stacked,
+                # One chunk: chunking at config.batch_size could split
+                # the stack mid-request and change the GEMM geometry.
+                batch_size=len(stacked),
+                cell=rows if self.config.batch_invariant and
+                len(batch) > 1 else None)
+        except BaseException as error:  # noqa: BLE001 — routed to waiters
+            for pending in batch:
+                pending.ticket._fail(error)
+            return
+        for position, pending in enumerate(batch):
+            lo, hi = position * rows, (position + 1) * rows
+            try:
+                sliced = [(member, probs[lo:hi])
+                          for member, probs in outputs]
+                pending.ticket._complete(self.service.finish(
+                    sliced, list(skipped), alpha_configured,
+                    deadline_hit=False,
+                    latency=self.clock() - pending.enqueued))
+            except BaseException as error:  # noqa: BLE001
+                pending.ticket._fail(error)

@@ -4,14 +4,23 @@ With one member corrupted *on disk* and another quarantined by the
 circuit breaker *at runtime*, the service must still answer; its output
 must be bit-identical to the α-renormalised Eq. 16 aggregate of the
 surviving members; and ``ServiceHealth`` must name exactly which members
-were lost at which stage, and why.
+were lost at which stage, and why.  The concurrent twin lives at the
+bottom: a genuinely *slow* member inside the thread-pool executor must
+yield the same bit-identical partial over the members that finished.
 """
 
 import numpy as np
 import pytest
 
+from repro.core import Ensemble
 from repro.serving import InferenceService, InputSpec, ServiceConfig
-from repro.serving.faults import CorruptArchive, FlakyMember, ManualClock
+from repro.serving.faults import (
+    CorruptArchive,
+    FlakyMember,
+    ManualClock,
+    SlowMember,
+)
+from repro.serving.transport import PipelineConfig, ServingPipeline
 
 from tests.serving.conftest import sub_ensemble
 
@@ -67,3 +76,33 @@ class TestKillOneMemberEndToEnd:
         calls_before = flaky.calls
         degraded_service.predict(request_batch)
         assert flaky.calls == calls_before
+
+
+class TestConcurrentDeadlinePartial:
+    """A slow member in the *parallel* executor: the deadline abandons it
+    and the answer is the bit-identical α-renormalised partial of the
+    finished subset — the serial degraded property, under real threads
+    and a real clock (deadline enforcement needs one)."""
+
+    def test_slow_member_abandoned_partial_bitwise(self, factory,
+                                                   request_batch):
+        ensemble = Ensemble()
+        for seed in range(4):
+            ensemble.add(factory.build(rng=seed), alpha=seed + 0.5)
+        service = InferenceService(ensemble, ServiceConfig())
+        position = [m.index for m in service.members].index(1)
+        # Real sleep (no manual clock): 0.5 s against a 0.05 s budget.
+        service.members[position].model = SlowMember(
+            service.members[position].model, seconds=0.5)
+        with ServingPipeline(service, PipelineConfig(workers=4)) as pipeline:
+            answer = pipeline.predict(request_batch, deadline=0.05)
+        assert answer.deadline_hit
+        assert 1 not in answer.members_used
+        skipped = {index: kind for index, kind, _ in answer.members_skipped}
+        assert skipped == {1: "deadline"}
+        survivors = sub_ensemble(ensemble, answer.members_used)
+        assert np.array_equal(answer.probs,
+                              survivors.predict_probs(request_batch))
+        # α renormalised over the finished subset, reported vs configured.
+        used_alpha = sum(index + 0.5 for index in answer.members_used)
+        assert answer.alpha_mass == pytest.approx(used_alpha / 8.0)

@@ -1,0 +1,381 @@
+"""The concurrent serving pipeline: transport, scheduler, executor.
+
+The acceptance property of the whole refactor: micro-batched +
+parallel-member serving answers **bit-identically** (``==``, not
+``allclose``) to the solo sequential ``InferenceService.predict`` for
+every request, while the breaker, quorum, hot-swap and health machinery
+keep their semantics under true concurrency.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    InferenceService,
+    InvalidRequest,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.serving.executor import MemberExecutor
+from repro.serving.faults import FlakyMember, ManualClock
+from repro.serving.scheduler import MicroBatcher, QueueFull
+from repro.serving.transport import PipelineConfig, ServingPipeline
+
+from tests.serving.conftest import sub_ensemble
+
+RNG = np.random.default_rng(31)
+
+
+def make_service(factory, members=4, **config):
+    ensemble = Ensemble()
+    for seed in range(members):
+        ensemble.add(factory.build(rng=seed), alpha=seed + 0.5)
+    return InferenceService(ensemble, ServiceConfig(**config)), ensemble
+
+
+# ----------------------------------------------------------------------
+class TestBitParity:
+    """Batched + parallel == solo, byte for byte."""
+
+    def test_pump_once_batches_bitwise_equal_solo(self, factory):
+        service, _ = make_service(factory)
+        requests = [RNG.normal(size=(8, 4)).astype(np.float32)
+                    for _ in range(12)]
+        solo = [service.predict(x).probs.copy() for x in requests]
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        tickets = [pipeline.submit(x) for x in requests]
+        while not all(ticket.done for ticket in tickets):
+            assert pipeline.batcher.pump_once() > 0
+        for ticket, expected in zip(tickets, solo):
+            assert np.array_equal(pipeline.result(ticket).probs, expected)
+        pipeline.close()
+
+    def test_threaded_clients_parallel_members_bitwise_equal_solo(
+            self, factory):
+        service, _ = make_service(factory, members=6)
+        requests = [RNG.normal(size=(4, 4)).astype(np.float32)
+                    for _ in range(24)]
+        solo = [service.predict(x).probs.copy() for x in requests]
+        results = [None] * len(requests)
+        with ServingPipeline(service, PipelineConfig(
+                workers=4, max_wait_ms=2.0)) as pipeline:
+            def client(i):
+                results[i] = pipeline.predict(requests[i]).probs
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(len(requests))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for got, expected in zip(results, solo):
+            assert np.array_equal(got, expected)
+
+    def test_mixed_row_counts_never_share_a_stack(self, factory):
+        service, _ = make_service(factory)
+        sizes = [3, 3, 5, 5, 5, 2]
+        requests = [RNG.normal(size=(rows, 4)).astype(np.float32)
+                    for rows in sizes]
+        solo = [service.predict(x).probs.copy() for x in requests]
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        tickets = [pipeline.submit(x) for x in requests]
+        drained = []
+        while not all(ticket.done for ticket in tickets):
+            drained.append(pipeline.batcher.pump_once())
+        # FIFO same-size prefixes: [3,3], [5,5,5], [2].
+        assert drained == [2, 3, 1]
+        for ticket, expected in zip(tickets, solo):
+            assert np.array_equal(pipeline.result(ticket).probs, expected)
+        pipeline.close()
+
+    def test_served_metadata_matches_solo(self, factory):
+        service, _ = make_service(factory)
+        x = RNG.normal(size=(8, 4)).astype(np.float32)
+        expected = service.predict(x)
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        tickets = [pipeline.submit(x), pipeline.submit(x)]
+        pipeline.batcher.pump_once()
+        for ticket in tickets:
+            answer = pipeline.result(ticket)
+            assert answer.members_used == expected.members_used
+            assert answer.alpha_mass == expected.alpha_mass
+            assert not answer.deadline_hit
+        pipeline.close()
+
+
+# ----------------------------------------------------------------------
+class TestTransportSurface:
+    def test_submit_poll_result(self, factory):
+        service, _ = make_service(factory)
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        ticket = pipeline.submit(RNG.normal(size=(4, 4)).astype(np.float32))
+        assert not pipeline.poll(ticket)
+        pipeline.batcher.pump_once()
+        assert pipeline.poll(ticket)
+        assert pipeline.result(ticket).probs.shape == (4, 3)
+        pipeline.close()
+
+    def test_result_timeout(self, factory):
+        service, _ = make_service(factory)
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        ticket = pipeline.submit(RNG.normal(size=(4, 4)).astype(np.float32))
+        with pytest.raises(TimeoutError):
+            pipeline.result(ticket, timeout=0.01)
+        pipeline.close()
+
+    def test_invalid_payload_rejected_and_counted(self, factory):
+        service, _ = make_service(factory)
+        pipeline = ServingPipeline(service, PipelineConfig(workers=0))
+        bad = np.full((4, 4), np.nan, dtype=np.float32)
+        with pytest.raises(InvalidRequest):
+            pipeline.submit(bad)
+        assert service.health().requests_rejected == 1
+        pipeline.close()
+
+    def test_queue_full_is_backpressure(self, factory):
+        service, _ = make_service(factory)
+        pipeline = ServingPipeline(service, PipelineConfig(
+            workers=0, queue_depth=2)).start(pump=False)
+        x = RNG.normal(size=(4, 4)).astype(np.float32)
+        pipeline.submit(x)
+        pipeline.submit(x)
+        with pytest.raises(ServiceUnavailable, match="capacity"):
+            pipeline.submit(x)
+        assert service.health().requests_unavailable == 1
+        pipeline.close()
+
+    def test_batching_off_serves_immediately(self, factory):
+        service, _ = make_service(factory)
+        with ServingPipeline(service, PipelineConfig(
+                batching=False, workers=0)) as pipeline:
+            ticket = pipeline.submit(
+                RNG.normal(size=(4, 4)).astype(np.float32))
+            assert pipeline.poll(ticket)
+
+    def test_close_drains_queued_requests(self, factory):
+        service, _ = make_service(factory)
+        pipeline = ServingPipeline(
+            service, PipelineConfig(workers=0)).start(pump=False)
+        tickets = [pipeline.submit(
+            RNG.normal(size=(4, 4)).astype(np.float32)) for _ in range(3)]
+        pipeline.close()
+        assert all(ticket.done for ticket in tickets)
+
+
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_max_batch_rows_caps_the_stack(self):
+        batches = []
+        batcher = MicroBatcher(
+            process=lambda stacked, batch: batches.append(len(batch)),
+            max_batch_rows=8)
+        for _ in range(5):
+            batcher.submit(np.zeros((4, 2), dtype=np.float32), ticket=None)
+        while batcher.pump_once():
+            pass
+        assert batches == [2, 2, 1]     # 8-row cap -> 2 requests per stack
+
+    def test_single_oversized_request_still_forms_a_batch(self):
+        batches = []
+        batcher = MicroBatcher(
+            process=lambda stacked, batch: batches.append(len(stacked)),
+            max_batch_rows=8)
+        batcher.submit(np.zeros((32, 2), dtype=np.float32), ticket=None)
+        batcher.pump_once()
+        assert batches == [32]
+
+    def test_queue_full(self):
+        batcher = MicroBatcher(process=lambda *a: None, queue_depth=1)
+        batcher.submit(np.zeros((1, 1)), ticket=None)
+        with pytest.raises(QueueFull):
+            batcher.submit(np.zeros((1, 1)), ticket=None)
+
+
+# ----------------------------------------------------------------------
+class TestBreakerConcurrency:
+    def test_concurrent_faults_trip_exactly_once(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(fault_threshold=3, cooldown=10.0,
+                                 clock=clock)
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(16):
+                breaker.record_fault("injected")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.state == OPEN
+        assert breaker.total_faults == 8 * 16      # no lost increments
+        assert breaker.total_calls == 8 * 16
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(fault_threshold=1, cooldown=5.0,
+                                 clock=clock)
+        breaker.record_fault("boom")
+        clock.advance(5.0)                         # cooldown expired
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            admitted.append(breaker.allow())
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(admitted) == 1                  # single probe slot
+        assert breaker.state == HALF_OPEN
+
+    def test_concurrent_trip_and_reinstate_stay_consistent(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(fault_threshold=2, cooldown=5.0,
+                                 clock=clock)
+        barrier = threading.Barrier(4)
+
+        def flip(n):
+            barrier.wait()
+            for _ in range(64):
+                if n % 2:
+                    breaker.trip("admin")
+                else:
+                    breaker.reinstate()
+
+        threads = [threading.Thread(target=flip, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Whatever interleaving happened, the breaker landed in a legal
+        # state with internally consistent bookkeeping.
+        assert breaker.state in (OPEN, CLOSED)
+        if breaker.state == OPEN:
+            assert breaker.opened_at is not None
+        else:
+            assert breaker.opened_at is None
+            assert breaker.consecutive_faults == 0
+
+
+# ----------------------------------------------------------------------
+class TestHotSwapConsistency:
+    def test_health_never_tears_mid_swap(self, factory):
+        service, _ = make_service(factory)
+        stop = threading.Event()
+        errors = []
+
+        def swapper():
+            seed = 100
+            while not stop.is_set():
+                seed += 1
+                service.replace_member(2, factory.build(rng=seed), alpha=2.5)
+
+        def checker():
+            while not stop.is_set():
+                health = service.health()
+                try:
+                    assert health.members_total == 4
+                    named = set(health.members_live) | \
+                        set(health.members_quarantined)
+                    assert named == {0, 1, 2, 3}
+                    assert set(health.breaker_states) == {0, 1, 2, 3}
+                    assert health.effective_alpha_mass == pytest.approx(1.0)
+                except AssertionError as error:   # pragma: no cover
+                    errors.append(error)
+                    stop.set()
+
+        threads = [threading.Thread(target=swapper),
+                   threading.Thread(target=checker),
+                   threading.Thread(target=checker)]
+        for thread in threads:
+            thread.start()
+        stop.wait(timeout=0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.health().member_swaps > 0
+
+    def test_in_flight_batches_see_whole_rosters(self, factory):
+        """A hot swap mid-traffic: every answer equals one of the two
+        rosters' solo aggregates — never a torn mix."""
+        service, _ = make_service(factory)
+        x = RNG.normal(size=(8, 4)).astype(np.float32)
+        before = service.predict(x).probs.copy()
+        replacement = factory.build(rng=999)
+        snapshot, _ = service.roster_snapshot()
+        after_ensemble = Ensemble()
+        for position, member in enumerate(snapshot):
+            if position == 2:
+                after_ensemble.add(replacement, alpha=4.0)
+            else:
+                after_ensemble.add(member.model, alpha=member.alpha)
+        legal = {before.tobytes()}
+        answers = []
+        with ServingPipeline(service, PipelineConfig(
+                workers=2, max_wait_ms=0.5)) as pipeline:
+            def client():
+                for _ in range(20):
+                    answers.append(pipeline.predict(x).probs)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            service.replace_member(2, replacement, alpha=4.0)
+            for thread in threads:
+                thread.join()
+        legal.add(service.predict(x).probs.tobytes())
+        assert legal == {before.tobytes(),
+                         after_ensemble.predict_probs(x).tobytes()}
+        for answer in answers:
+            assert answer.tobytes() in legal
+
+
+# ----------------------------------------------------------------------
+class TestExecutorSemantics:
+    def test_fault_and_quarantine_skips_match_serial(self, factory):
+        service, _ = make_service(factory, fault_threshold=1)
+        position = [m.index for m in service.members].index(1)
+        service.members[position].model = FlakyMember(
+            service.members[position].model)
+        x = RNG.normal(size=(4, 4)).astype(np.float32)
+        executor = MemberExecutor(workers=3)
+        members, alpha_configured = service.roster_snapshot()
+        outputs, skipped, _ = executor.run(members, x, batch_size=256)
+        assert [m.index for m, _ in outputs] == [0, 2, 3]
+        assert skipped[0][0] == 1 and skipped[0][1] == "fault"
+        # Next run: the breaker (threshold 1) has the member quarantined.
+        outputs, skipped, _ = executor.run(members, x, batch_size=256)
+        assert skipped[0][1] == "quarantined"
+        executor.shutdown()
+
+    def test_all_members_lost_is_unavailable(self, factory):
+        service, _ = make_service(factory, members=2, min_members=1,
+                                  fault_threshold=1)
+        for member in service.members:
+            member.model = FlakyMember(member.model)
+        with ServingPipeline(service, PipelineConfig(workers=2)) as pipeline:
+            ticket = pipeline.submit(
+                RNG.normal(size=(4, 4)).astype(np.float32))
+            with pytest.raises(ServiceUnavailable):
+                pipeline.result(ticket, timeout=5.0)
+        assert service.health().requests_unavailable == 1
