@@ -66,19 +66,27 @@ LAYER_GRAPH: Dict[str, Set[str]] = {
     "serving.monitor": {"serving", "core", "utils"},
     "serving.repair": {"serving", "serving.monitor", "core", "data",
                        "models", "utils"},
-    # Concurrent-pipeline sub-layers (PR 8): the scheduler is a generic
-    # bounded-queue micro-batcher (no repro deps at all), the executor
-    # runs roster members on a thread pool (it needs the member/fault
-    # protocol from plain serving and the batch-invariant GEMM context
-    # from ops), and the transport composes both into the async
-    # submit/poll/result front door.  All sit above plain ``serving`` —
-    # the sequential service stays importable without any of them.
-    "serving.scheduler": set(),
+    # Concurrent-pipeline sub-layers (PR 8/9): the scheduler is a
+    # bounded-queue micro-batcher with CoDel-style admission control
+    # (it speaks the plain-serving error taxonomy, nothing else), the
+    # executor runs roster members on a thread pool (it needs the
+    # member/fault protocol from plain serving and the batch-invariant
+    # GEMM context from ops), the pressure controller maps queue delay
+    # to a healthiest-K brownout roster, the transport composes them
+    # all into the async submit/poll/result front door, and the
+    # retrying client wraps the transport's interface from outside.
+    # All sit above plain ``serving`` — the sequential service stays
+    # importable without any of them.
+    "serving.scheduler": {"serving", "utils"},
     "serving.executor": {"serving", "ops", "utils"},
+    "serving.pressure": {"serving", "utils"},
     "serving.transport": {"serving", "serving.scheduler",
-                          "serving.executor", "ops", "core", "utils"},
+                          "serving.executor", "serving.pressure",
+                          "ops", "core", "utils"},
+    "serving.client": {"serving", "utils"},
     "experiments": {"baselines", "analysis", "serving.repair",
-                    "serving.monitor", "serving.transport", "serving",
+                    "serving.monitor", "serving.transport",
+                    "serving.client", "serving.pressure", "serving",
                     "core", "utils"},
     "experiments.grid": {"experiments", "analysis", "core", "data", "utils"},
     "cli": {"experiments.grid", "experiments", "analysis",

@@ -25,6 +25,17 @@ Commands
     sweep of closed-loop clients plus one open-loop replay, archiving
     ``results/BENCH_serving.json`` with QPS, p50/p95/p99 latency and the
     batched-vs-solo bit-parity verdict.
+``serve-overload``
+    Run the virtual-time overload suite
+    (:mod:`repro.experiments.serve_overload`): measure capacity with a
+    ramp, then serve {0.5×, 1×, 2×} capacity with and without admission
+    control + brownout, archiving ``results/BENCH_overload.json`` with
+    goodput, p99 and the acceptance verdicts.
+``serve-chaos``
+    Replay seeded chaos schedules (arrival storms, pump stalls, slow
+    bursts, executor-task deaths — :mod:`repro.experiments.serve_chaos`)
+    against the resilient pipeline and check the invariants: no
+    deadlock, no torn batch, conservation of the overload ledger.
 ``grid``
     Execute a declarative experiment grid from a JSON spec
     (:class:`~repro.experiments.grid.GridSpec`): expand the factor table
@@ -55,6 +66,8 @@ Examples
     python -m repro.cli serve-drift --schedule smoke --max-repairs 1 \\
         --checkpoint-dir runs/drift-repairs
     python -m repro.cli serve-load --sizes 1,4,8 --requests 256 --clients 16
+    python -m repro.cli serve-overload --seed 0
+    python -m repro.cli serve-chaos --schedules 100 --seed 0
     python -m repro.cli grid --spec specs/table5.json --out runs/grids
     python -m repro.cli grid --spec specs/table5.json --out runs/grids \\
         --shard 1/4 --workers 2 --resume
@@ -326,6 +339,58 @@ def _cmd_serve_load(args) -> int:
     path = write_json(args.bench_name, payload, directory=args.results)
     print(f"benchmark artifact: {path}")
     return 0 if payload["parity_ok"] else 1
+
+
+def _cmd_serve_overload(args) -> int:
+    from repro.experiments.grid.reporting import write_json
+    from repro.experiments.serve_overload import (
+        OverloadConfig,
+        run_overload_suite,
+    )
+
+    payload = run_overload_suite(OverloadConfig(seed=args.seed))
+    capacity = payload["capacity"]
+    print(f"capacity: {capacity['measured_rps']:.0f} rps measured "
+          f"({capacity['analytic_rps']:.0f} analytic)")
+    print(f"{'load':>6} {'mode':>10} {'offered':>8} {'goodput':>8} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'shed':>6} {'brownout':>8}")
+    for cell in payload["cells"]:
+        latency = cell["latency_ms"]
+        print(f"{cell['load_factor']:>5.1f}x "
+              f"{'resilient' if cell['resilient'] else 'baseline':>10} "
+              f"{cell['rate']:>8.0f} {cell['goodput_rps']:>8.0f} "
+              f"{latency['p50']:>8.1f} {latency['p99']:>8.1f} "
+              f"{cell['shed']:>6} {cell['brownout_batches']:>8}")
+    for name, value in payload["acceptance"].items():
+        print(f"  {name}: {'ok' if value else 'FAIL'}")
+    path = write_json(args.bench_name, payload, directory=args.results)
+    print(f"benchmark artifact: {path}")
+    return 0 if payload["ok"] else 1
+
+
+def _cmd_serve_chaos(args) -> int:
+    from repro.experiments.grid.reporting import write_json
+    from repro.experiments.serve_chaos import ChaosConfig, run_chaos_suite
+
+    payload = run_chaos_suite(ChaosConfig(
+        schedules=args.schedules, events=args.events,
+        horizon_s=args.horizon, seed=args.seed))
+    print(f"{payload['schedules']} schedules at "
+          f"{payload['base_rate_rps']:.0f} rps base rate "
+          f"(events drawn: {payload['event_kinds']})")
+    print(f"  submitted {payload['total_submitted']}, "
+          f"shed {payload['total_shed']}, "
+          f"failed {payload['total_failed']}, "
+          f"member deaths {payload['total_member_deaths']}")
+    if payload["ok"]:
+        print("  all invariants held (no deadlock, no torn batch, "
+              "ledger conserved)")
+    else:
+        print(f"  INVARIANT FAILURES in seeds {payload['failed_seeds']}")
+    if args.results:
+        path = write_json(args.bench_name, payload, directory=args.results)
+        print(f"artifact: {path}")
+    return 0 if payload["ok"] else 1
 
 
 def _render_health(health) -> str:
@@ -629,6 +694,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="artifact basename (BENCH_serving -> "
                            "BENCH_serving.json)")
     load.set_defaults(func=_cmd_serve_load)
+
+    overload = commands.add_parser(
+        "serve-overload",
+        help="virtual-time overload suite: capacity, then 0.5x/1x/2x "
+             "load with and without admission control + brownout; "
+             "archives results/BENCH_overload.json")
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--results", default="results", metavar="DIR",
+                          help="directory for the benchmark artifact")
+    overload.add_argument("--bench-name", default="BENCH_overload",
+                          help="artifact basename")
+    overload.set_defaults(func=_cmd_serve_overload)
+
+    chaos = commands.add_parser(
+        "serve-chaos",
+        help="replay seeded chaos schedules (storms, stalls, slow "
+             "bursts, task deaths) and check the pipeline invariants")
+    chaos.add_argument("--schedules", type=int, default=20,
+                       help="seeded schedules to replay")
+    chaos.add_argument("--events", type=int, default=5,
+                       help="disturbances drawn per schedule")
+    chaos.add_argument("--horizon", type=float, default=2.0,
+                       help="virtual seconds of arrivals per schedule")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--results", default="", metavar="DIR",
+                       help="archive CHAOS_<name>.json here (default: "
+                            "no artifact)")
+    chaos.add_argument("--bench-name", default="CHAOS_serving",
+                       help="artifact basename when --results is set")
+    chaos.set_defaults(func=_cmd_serve_chaos)
 
     grid = commands.add_parser(
         "grid",

@@ -326,7 +326,8 @@ def serve_drift_runner(run: RunSpec, context: RunContext) -> RunOutput:
 #: LoadConfig fields a grid cell may set (as factors or overrides).
 SERVING_LOAD_OVERRIDES = (
     "ensemble_size", "batching", "requests", "rows", "clients", "warmup",
-    "arrival", "rate", "max_batch_rows", "max_wait_ms", "workers",
+    "arrival", "rate", "rate_end", "burst_period_s", "burst_duty",
+    "max_batch_rows", "max_wait_ms", "workers",
     "probe_requests", "input_dim", "num_classes",
 )
 
@@ -369,6 +370,78 @@ def serving_load_runner(run: RunSpec, context: RunContext) -> RunOutput:
                      result=result if context.keep_result else None)
 
 
+SERVE_OVERLOAD_OVERRIDES = (
+    "load_factor", "resilient", "ensemble_size", "rows", "member_seconds",
+    "max_batch_rows", "max_wait_ms", "queue_depth", "target_delay_ms",
+    "interval_ms", "slo_ms", "horizon_s", "input_dim", "num_classes",
+)
+
+
+def serve_overload_runner(run: RunSpec, context: RunContext) -> RunOutput:
+    """One virtual-time overload cell: offered load in, goodput/p99 out.
+
+    ``load_factor`` (× analytic capacity) and ``resilient`` ride the
+    factor axes, so the bench's {0.5×, 1×, 2×} × {resilient, baseline}
+    grid is a plain 2-factor sweep.  Fully deterministic: the cell runs
+    on a manual clock, so every metric is a reproducible bit pattern.
+    """
+    from repro.experiments.serve_overload import (
+        OverloadConfig,
+        analytic_capacity,
+        run_overload_cell,
+    )
+
+    merged = {**run.factor_dict, **run.override_dict}
+    factor = float(merged.pop("load_factor", 1.0))
+    resilient = bool(merged.pop("resilient", True))
+    unknown = set(merged) - set(SERVE_OVERLOAD_OVERRIDES)
+    if unknown:
+        raise ValueError(f"serve_overload runner got unknown overrides: "
+                         f"{sorted(unknown)}")
+    config = OverloadConfig(seed=run.seed, **merged)
+    cell = run_overload_cell(config, rate=factor * analytic_capacity(config),
+                             resilient=resilient)
+    metrics = {
+        "goodput_rps": cell["goodput_rps"],
+        "latency_p50_ms": cell["latency_ms"]["p50"],
+        "latency_p99_ms": cell["latency_ms"]["p99"],
+        "shed": cell["shed"],
+        "brownout_batches": cell["brownout_batches"],
+        "conserved": cell["conserved"],
+    }
+    meta = {"rate": cell["rate"], "resilient": cell["resilient"],
+            "requests": cell["requests"], "parity": cell["parity"]}
+    return RunOutput(metrics=metrics, meta=meta,
+                     result=cell if context.keep_result else None)
+
+
+SERVE_CHAOS_OVERRIDES = ("schedules", "events", "horizon_s", "base_rate")
+
+
+def serve_chaos_runner(run: RunSpec, context: RunContext) -> RunOutput:
+    """One chaos campaign: seeded schedules in, invariant verdicts out."""
+    from repro.experiments.serve_chaos import ChaosConfig, run_chaos_suite
+
+    merged = {**run.factor_dict, **run.override_dict}
+    unknown = set(merged) - set(SERVE_CHAOS_OVERRIDES)
+    if unknown:
+        raise ValueError(f"serve_chaos runner got unknown overrides: "
+                         f"{sorted(unknown)}")
+    payload = run_chaos_suite(ChaosConfig(seed=run.seed, **merged))
+    metrics = {
+        "ok": payload["ok"],
+        "schedules": payload["schedules"],
+        "shed": payload["total_shed"],
+        "failed": payload["total_failed"],
+        "member_deaths": payload["total_member_deaths"],
+    }
+    meta = {"event_kinds": payload["event_kinds"],
+            "failed_seeds": payload["failed_seeds"],
+            "base_rate_rps": payload["base_rate_rps"]}
+    return RunOutput(metrics=metrics, meta=meta,
+                     result=payload if context.keep_result else None)
+
+
 # ----------------------------------------------------------------------
 # Beyond-paper EDDE variants (Table VI, REPRO_EXTENDED_ABLATION=1).
 
@@ -387,6 +460,8 @@ register_runner("method", method_runner)
 register_runner("beta_probe", beta_probe_runner)
 register_runner("serve_drift", serve_drift_runner)
 register_runner("serving_load", serving_load_runner)
+register_runner("serve_overload", serve_overload_runner)
+register_runner("serve_chaos", serve_chaos_runner)
 register_runner("edde_cumulative_weights",
                 _variant_runner(run_edde_cumulative_weights))
 register_runner("edde_correlate_previous_model",

@@ -17,6 +17,9 @@ style but deterministic, against the concurrent pipeline
   host speed — same seed, same batch compositions, same simulated
   queueing delays — so batching *policy* (batch-size distribution,
   window-induced waiting) is a reproducible, testable quantity.
+  Three arrival profiles (:func:`arrival_times`): ``open`` (homogeneous
+  Poisson), ``ramp`` (rate sweeps ``rate`` → ``rate_end``; the overload
+  bench's saturation finder) and ``burst`` (on/off duty cycle).
 
 Every run also answers a probe set twice — solo through
 ``service.predict`` and batched through the pipeline — and records
@@ -52,6 +55,7 @@ from repro.serving.transport import PipelineConfig, ServingPipeline
 __all__ = [
     "LoadConfig",
     "LoadResult",
+    "arrival_times",
     "build_load_service",
     "run_load_suite",
     "run_serve_load",
@@ -70,8 +74,15 @@ class LoadConfig:
     rows: int = 8                  # rows per request payload
     clients: int = 16              # closed-loop concurrency
     warmup: int = 16               # untimed warmup requests
-    arrival: str = "closed"        # "closed" | "open"
+    arrival: str = "closed"        # "closed" | "open" | "ramp" | "burst"
     rate: float = 2000.0           # open-loop mean arrivals/second
+    #: ``arrival="ramp"``: the mean rate sweeps linearly from ``rate``
+    #: to ``rate_end`` across the run (the saturation-finding profile).
+    rate_end: Optional[float] = None
+    #: ``arrival="burst"``: arrivals come only during the on-phase of a
+    #: ``burst_period_s`` duty cycle; ``burst_duty`` is the on fraction.
+    burst_period_s: float = 0.05
+    burst_duty: float = 0.5
     batching: bool = True
     max_batch_rows: int = 128
     max_wait_ms: float = 5.0
@@ -81,11 +92,17 @@ class LoadConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.arrival not in ("closed", "open"):
-            raise ValueError(f"arrival must be 'closed' or 'open', "
-                             f"got {self.arrival!r}")
+        if self.arrival not in ("closed", "open", "ramp", "burst"):
+            raise ValueError(f"arrival must be one of 'closed', 'open', "
+                             f"'ramp', 'burst', got {self.arrival!r}")
         if self.requests < 1 or self.rows < 1 or self.clients < 1:
             raise ValueError("requests, rows and clients must be >= 1")
+        if self.arrival == "burst" and not 0 < self.burst_duty <= 1:
+            raise ValueError(f"burst_duty must be in (0, 1], "
+                             f"got {self.burst_duty}")
+        if self.arrival == "burst" and self.burst_period_s <= 0:
+            raise ValueError(f"burst_period_s must be positive, "
+                             f"got {self.burst_period_s}")
 
 
 @dataclass
@@ -141,6 +158,38 @@ def _pipeline_config(config: LoadConfig) -> PipelineConfig:
                           queue_depth=config.queue_depth,
                           workers=config.workers,
                           batching=config.batching)
+
+
+def arrival_times(config: LoadConfig,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Draw the open-loop arrival timeline for ``config``'s profile.
+
+    * ``open``  — homogeneous Poisson at ``rate``;
+    * ``ramp``  — inhomogeneous Poisson whose mean rate sweeps linearly
+      from ``rate`` to ``rate_end`` across the run (each inter-arrival
+      gap is drawn at the instantaneous rate) — the profile the overload
+      bench uses to walk a service into saturation;
+    * ``burst`` — an on/off duty cycle: gaps are drawn at ``rate`` and
+      any arrival landing in an off-phase is shifted to the start of the
+      next on-phase (arrival order and count are preserved).
+    """
+    n = config.requests
+    if config.arrival == "ramp":
+        end = config.rate_end if config.rate_end is not None else config.rate
+        rates = np.linspace(config.rate, float(end), n, dtype=np.float64)
+        gaps = rng.exponential(1.0 / np.maximum(rates, 1e-9))
+        return np.cumsum(gaps)
+    gaps = rng.exponential(1.0 / config.rate, size=n)
+    times = np.cumsum(gaps)
+    if config.arrival == "burst":
+        period = config.burst_period_s
+        on = period * config.burst_duty
+        # Compress the timeline: only on-phase time accrues arrivals,
+        # then map each arrival back to absolute (on+off) time.
+        compressed = times * config.burst_duty
+        cycle, offset = np.divmod(compressed, on)
+        times = cycle * period + offset
+    return times
 
 
 def _percentiles(latencies: Sequence[float]) -> Dict[str, float]:
@@ -212,8 +261,7 @@ def _run_open_loop(config: LoadConfig, rng: np.random.Generator):
     service = build_load_service(config, clock=clock)
     pipeline = ServingPipeline(service, _pipeline_config(config))
     pipeline.start(pump=False)   # manual pumping at exact window expiries
-    arrivals = np.cumsum(rng.exponential(1.0 / config.rate,
-                                         size=config.requests))
+    arrivals = arrival_times(config, rng)
     payloads = _payloads(config, config.requests, rng)
     window = config.max_wait_ms / 1000.0
     delays: List[float] = []
@@ -255,6 +303,7 @@ def _run_open_loop(config: LoadConfig, rng: np.random.Generator):
     sizes = np.asarray(batch_sizes or [1], dtype=np.float64)
     delay_ms = np.asarray(delays, dtype=np.float64) * 1000.0
     return {
+        "profile": config.arrival,
         "simulated_seconds": float(arrivals[-1]),
         "batch_size_mean": float(sizes.mean()),
         "batch_size_max": int(sizes.max()),
@@ -275,7 +324,7 @@ def run_serve_load(config: LoadConfig) -> LoadResult:
     parity_ok = _check_parity(config, service, rng)
 
     open_stats: Dict = {}
-    if config.arrival == "open":
+    if config.arrival != "closed":
         open_stats = _run_open_loop(config, rng)
 
     latencies, seconds, (batches, batched) = _run_closed_loop(

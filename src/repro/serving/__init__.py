@@ -15,14 +15,20 @@ contract around :class:`InferenceService`:
   fault harness (:mod:`repro.serving.faults`) shared by the test suite
   and the ``repro serve-eval --inject`` CLI.
 
-The concurrent request path lives in three sub-layers stacked *above*
-this package (imported directly, never from here, to keep the layer
-graph acyclic): :mod:`repro.serving.scheduler` (bounded queue + adaptive
-micro-batcher), :mod:`repro.serving.executor` (members on a thread
-pool), and :mod:`repro.serving.transport` (:class:`ServingPipeline`,
-the async ``submit/poll/result`` front door).  The drift machinery
+The concurrent request path lives in sub-layers stacked *above* this
+package (imported directly, never from here, to keep the layer graph
+acyclic): :mod:`repro.serving.scheduler` (bounded queue + micro-batcher
++ CoDel-style admission control), :mod:`repro.serving.executor`
+(members on a thread pool), :mod:`repro.serving.transport`
+(:class:`ServingPipeline`, the async ``submit/poll/result`` front
+door), :mod:`repro.serving.pressure` (brownout: healthiest-K serving
+under queue pressure) and :mod:`repro.serving.client`
+(:class:`RetryingClient`: backoff + hedging).  The drift machinery
 (:mod:`repro.serving.monitor` / :mod:`repro.serving.repair`) sits beside
-them the same way.
+them the same way.  The overload branch of the error taxonomy
+(:class:`Overloaded`, :class:`QueueFull` — both retryable
+:class:`ServiceUnavailable` subclasses carrying ``retry_after``) *is*
+re-exported here: errors are plain-serving vocabulary.
 
 See ``docs/architecture.md`` ("Serving and graceful degradation", "The
 concurrent pipeline") for the error taxonomy, the quorum/breaker state
@@ -33,6 +39,8 @@ from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serving.errors import (
     InvalidRequest,
     MemberFault,
+    Overloaded,
+    QueueFull,
     ServiceUnavailable,
     ServingError,
 )
@@ -54,6 +62,8 @@ __all__ = [
     "InputSpec",
     "InvalidRequest",
     "MemberFault",
+    "Overloaded",
+    "QueueFull",
     "ServedPrediction",
     "ServiceConfig",
     "ServiceHealth",

@@ -1,0 +1,247 @@
+"""A retrying, hedging client for the serving pipeline.
+
+The server side of overload resilience (admission control, brownout)
+only works if callers hold up their half of the contract: back off when
+shed, spread retries out, never retry what cannot succeed.
+:class:`RetryingClient` is that contract, executable:
+
+* **Exponential backoff with full jitter** — attempt ``n`` sleeps
+  ``uniform(0, min(max_delay, base_delay · 2ⁿ))``.  Full jitter (the
+  AWS-style variant) de-synchronises a fleet of retrying clients: after
+  a shedding episode the retries arrive spread over the whole window
+  instead of as a synchronised thundering herd that re-triggers it.
+* **``retry_after`` is a floor, not a suggestion** — when the server
+  sheds with :class:`~repro.serving.errors.Overloaded`, its computed
+  hint is how long the queue needs to drain; sleeping less than that is
+  guaranteed wasted work, so the jittered delay is clamped up to it.
+* **A retry budget** — ``max_attempts`` bounds the attempts and
+  ``budget`` bounds the total wall-clock a single :meth:`predict` may
+  consume across attempts and sleeps; when the next sleep would blow
+  the budget the client stops early and re-raises the last error.
+* **Taxonomy-aware** — :class:`InvalidRequest` is *never* retried (the
+  request can never become valid by waiting); every
+  :class:`ServiceUnavailable` (including ``Overloaded``/``QueueFull``)
+  is retryable by definition of the taxonomy.
+* **Optional hedged requests** — tail latency insurance: if the primary
+  attempt has not answered within a p95-based delay (measured from this
+  client's own completed calls), a second identical request is
+  submitted and whichever answers first wins.  Hedges are *best
+  effort*: a hedge refused by admission control is simply dropped (a
+  shedding server is the worst moment to double traffic), and hedging
+  stays disabled until ``hedge_min_samples`` latencies have been
+  observed (no p95, no hedge — unless an explicit ``hedge_delay``
+  bootstrap is configured).
+
+Determinism: the jitter RNG is seeded, the clock and sleep are
+injectable, so every retry/hedge decision replays bit-identically under
+a :class:`~repro.serving.faults.ManualClock` test harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.serving.errors import (
+    InvalidRequest,
+    Overloaded,
+    ServiceUnavailable,
+)
+from repro.serving.service import ServedPrediction
+
+__all__ = ["ClientStats", "RetryConfig", "RetryingClient"]
+
+
+@dataclass
+class RetryConfig:
+    """Knobs for :class:`RetryingClient`."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05       # first backoff ceiling (seconds)
+    max_delay: float = 2.0         # backoff ceiling growth stops here
+    budget: Optional[float] = None  # total seconds across attempts+sleeps
+    hedge: bool = False
+    #: Bootstrap hedge delay before p95 data exists (``None``: no
+    #: hedging until ``hedge_min_samples`` latencies are recorded).
+    hedge_delay: Optional[float] = None
+    hedge_min_samples: int = 20
+    latency_window: int = 128      # completed-call latencies kept for p95
+    race_poll_s: float = 0.002     # primary-vs-hedge poll slice
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay} / {self.max_delay}")
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+
+@dataclass
+class ClientStats:
+    """What this client did on behalf of its caller."""
+
+    calls: int = 0                 # predict() invocations
+    attempts: int = 0              # submissions (incl. hedges)
+    retries: int = 0               # backoff-then-resubmit cycles
+    shed_seen: int = 0             # Overloaded/QueueFull responses seen
+    hedges: int = 0                # hedge submissions
+    hedge_wins: int = 0            # hedge answered before the primary
+    failures: int = 0              # predict() calls that ultimately raised
+    slept: float = 0.0             # total backoff seconds
+    #: error code -> times seen (the taxonomy in action).
+    errors_seen: Dict[str, int] = field(default_factory=dict)
+
+
+class RetryingClient:
+    """Retry/backoff/hedge wrapper over a :class:`ServingPipeline`.
+
+    Works against the pipeline *interface* — ``submit(x, deadline=) ->
+    ticket`` plus ticket ``done``/``failed``/``wait`` — so tests drive
+    it with a scripted fake and the real
+    :class:`~repro.serving.transport.ServingPipeline` satisfies it
+    unchanged.
+    """
+
+    def __init__(self, pipeline, config: Optional[RetryConfig] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 sleep: Optional[Callable[[float], None]] = None):
+        self.pipeline = pipeline
+        self.config = config or RetryConfig()
+        self.clock = clock if clock is not None else \
+            getattr(pipeline, "clock", time.monotonic)
+        self.sleep = sleep if sleep is not None else time.sleep
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([0xC11E27, int(self.config.seed)]))
+        self._latencies: list = []
+        self.stats = ClientStats()
+
+    # ------------------------------------------------------------------
+    def predict(self, x, deadline: Optional[float] = None,
+                ) -> ServedPrediction:
+        """One logical request: submit, retry on unavailability, hedge.
+
+        Raises :class:`InvalidRequest` immediately (never retried) and
+        re-raises the last :class:`ServiceUnavailable` once the attempt
+        or time budget is exhausted.
+        """
+        config = self.config
+        started = self.clock()
+        self.stats.calls += 1
+        last_error: Optional[ServiceUnavailable] = None
+        for attempt in range(config.max_attempts):
+            try:
+                begin = self.clock()
+                prediction = self._attempt(x, deadline, started)
+                self._record_latency(self.clock() - begin)
+                return prediction
+            except InvalidRequest:
+                self.stats.failures += 1
+                raise
+            except ServiceUnavailable as error:
+                self._count_error(error)
+                last_error = error
+            delay = self._backoff_delay(attempt, last_error)
+            if attempt + 1 >= config.max_attempts or \
+                    not self._within_budget(started, delay):
+                break
+            self.stats.retries += 1
+            self.stats.slept += delay
+            if delay > 0:
+                self.sleep(delay)
+        self.stats.failures += 1
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def _attempt(self, x, deadline: Optional[float],
+                 started: float) -> ServedPrediction:
+        """One submission, hedged when the p95 delay expires unanswered."""
+        self.stats.attempts += 1
+        primary = self.pipeline.submit(x, deadline=deadline)
+        hedge_after = self._hedge_delay()
+        if hedge_after is None:
+            return primary.wait(self._remaining(started))
+        try:
+            return primary.wait(min(hedge_after,
+                                    self._remaining(started) or hedge_after))
+        except TimeoutError:
+            pass
+        hedge = None
+        try:
+            self.stats.hedges += 1
+            self.stats.attempts += 1
+            hedge = self.pipeline.submit(x, deadline=deadline)
+        except ServiceUnavailable as error:
+            # A shed hedge is dropped, not retried: doubling traffic on
+            # a shedding server defeats the point of hedging.
+            self._count_error(error)
+        if hedge is None:
+            return primary.wait(self._remaining(started))
+        return self._race(primary, hedge, started)
+
+    def _race(self, primary, hedge, started: float) -> ServedPrediction:
+        """First successful ticket wins; both failing raises the primary's
+        error (the hedge was insurance, not the request of record)."""
+        while True:
+            if primary.done and not primary.failed:
+                return primary.wait(0)
+            if hedge.done and not hedge.failed:
+                self.stats.hedge_wins += 1
+                return hedge.wait(0)
+            if primary.done and hedge.done:
+                return primary.wait(0)    # re-raises the primary failure
+            remaining = self._remaining(started)
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(
+                    f"request unanswered within the {self.config.budget:g}s "
+                    "client budget (primary and hedge both pending)")
+            self.sleep(self.config.race_poll_s)
+
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, attempt: int,
+                       error: Optional[ServiceUnavailable]) -> float:
+        """Full-jitter exponential backoff, floored at ``retry_after``."""
+        ceiling = min(self.config.max_delay,
+                      self.config.base_delay * (2 ** attempt))
+        delay = float(self._rng.uniform(0.0, ceiling)) if ceiling > 0 else 0.0
+        if isinstance(error, Overloaded) and error.retry_after:
+            delay = max(delay, float(error.retry_after))
+        return delay
+
+    def _within_budget(self, started: float, delay: float) -> bool:
+        if self.config.budget is None:
+            return True
+        return self.clock() - started + delay < self.config.budget
+
+    def _remaining(self, started: float) -> Optional[float]:
+        if self.config.budget is None:
+            return None
+        return self.config.budget - (self.clock() - started)
+
+    def _hedge_delay(self) -> Optional[float]:
+        """The p95 of this client's own completed calls, when hedging."""
+        if not self.config.hedge:
+            return None
+        if len(self._latencies) >= self.config.hedge_min_samples:
+            return float(np.percentile(
+                np.asarray(self._latencies, dtype=np.float64), 95))
+        return self.config.hedge_delay
+
+    def _record_latency(self, seconds: float) -> None:
+        self._latencies.append(float(seconds))
+        if len(self._latencies) > self.config.latency_window:
+            del self._latencies[:-self.config.latency_window]
+
+    def _count_error(self, error: ServiceUnavailable) -> None:
+        code = getattr(error, "code", type(error).__name__)
+        self.stats.errors_seen[code] = \
+            self.stats.errors_seen.get(code, 0) + 1
+        if isinstance(error, Overloaded):
+            self.stats.shed_seen += 1

@@ -1,8 +1,9 @@
 """The serving error taxonomy.
 
-Every failure on the request path maps to exactly one of three classes,
-chosen by *whose fault it is* — the distinction a fronting HTTP layer (or
-a retrying client) needs to pick a status code and a retry policy:
+Every failure on the request path maps to exactly one branch of the
+taxonomy, chosen by *whose fault it is and what the caller should do
+next* — the distinction a fronting HTTP layer (or a retrying client)
+needs to pick a status code and a retry policy:
 
 * :class:`InvalidRequest` — the caller sent something malformed (bad
   shape, wrong dtype, NaN/Inf payload).  Retrying the same request can
@@ -13,7 +14,27 @@ a retrying client) needs to pick a status code and a retry policy:
   aggregate and its circuit breaker is charged.
 * :class:`ServiceUnavailable` — the service as a whole cannot answer
   (below quorum at startup, every member quarantined, nothing finished
-  before the deadline).  Retrying *later* may succeed.
+  before the deadline, shutting down).  Retrying *later* may succeed.
+
+  * :class:`Overloaded` — the retryable sub-branch for *load* shedding:
+    the request was refused because serving it now would blow the queue
+    delay target, not because anything is broken.  It carries a
+    computed ``retry_after`` hint (seconds) so clients back off by at
+    least the time the queue needs to drain.
+  * :class:`QueueFull` — the hard edge of the same condition: the
+    bounded request queue is at capacity.  A full queue *is* an
+    overload signal, so it subclasses :class:`Overloaded` (and hence
+    :class:`ServiceUnavailable`) and carries the same ``retry_after``
+    contract.
+
+Status-code mapping for a fronting transport::
+
+    InvalidRequest      -> 400 Bad Request        never retry
+    Overloaded          -> 429 Too Many Requests  retry after `retry_after`
+      QueueFull         -> 429 Too Many Requests  retry after `retry_after`
+    ServiceUnavailable  -> 503 Service Unavailable retry with backoff
+    MemberFault         -> (internal; absorbed into the aggregate, never
+                            surfaces as a response on its own)
 
 :class:`InvalidRequest` is defined in :mod:`repro.core.errors` — it is
 raised as low as :meth:`repro.core.ensemble.Ensemble.predict_probs`, and
@@ -59,3 +80,34 @@ class ServiceUnavailable(ServingError):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class Overloaded(ServiceUnavailable):
+    """Admission refused: serving this request now would blow the queue
+    delay target (CoDel-style shedding at the front door).
+
+    ``retry_after`` is the shedder's estimate, in seconds, of how long
+    the caller should wait before the queue has drained back under its
+    target — the value a fronting HTTP layer puts in a ``Retry-After``
+    header and :class:`~repro.serving.client.RetryingClient` honours as
+    a backoff floor.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, reason: str, retry_after: Optional[float] = None):
+        super().__init__(reason)
+        self.retry_after = retry_after
+
+
+class QueueFull(Overloaded):
+    """Admission refused: the bounded request queue is at capacity.
+
+    The hard edge of overload — kept as its own class so operators can
+    tell delay-target shedding (the controller working as designed) from
+    queue exhaustion (the controller overwhelmed or disabled), but a
+    subclass of :class:`Overloaded` so every retrying caller handles
+    both identically.
+    """
+
+    code = "queue-full"

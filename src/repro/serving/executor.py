@@ -60,7 +60,18 @@ MemberSkips = List[Tuple[int, str, str]]
 
 def _run_member(member: ServingMember, x: np.ndarray, batch_size: int,
                 cell: Optional[int]) -> Tuple[str, object]:
-    """One member task: breaker admission, prediction, fault conversion."""
+    """One member task: breaker admission, prediction, fault conversion.
+
+    The final ``BaseException`` arm is the thread-death firewall:
+    :meth:`ServingMember.predict` already converts every *model* failure
+    into a :class:`MemberFault`, so anything else escaping here is the
+    task itself dying (chaos-injected
+    :class:`~repro.serving.faults.InjectedThreadDeath`, a crashed C
+    extension, an interpreter-level error).  One member's dead task must
+    cost the request that member's vote, never the whole batch — so it
+    becomes an ordinary fault skip, charged to the member's breaker like
+    any other.
+    """
     if not member.breaker.allow():
         return (SKIP_QUARANTINED, member.breaker.describe())
     try:
@@ -70,6 +81,10 @@ def _run_member(member: ServingMember, x: np.ndarray, batch_size: int,
         return ("ok", member.predict(x, batch_size=batch_size))
     except MemberFault as fault:
         return (SKIP_FAULT, fault.reason)
+    except BaseException as death:  # noqa: BLE001 — see docstring
+        reason = f"member task died: {type(death).__name__}: {death}"
+        member.breaker.record_fault(reason)
+        return (SKIP_FAULT, reason)
 
 
 class MemberExecutor:

@@ -19,6 +19,16 @@ Three injection families:
   :func:`apply_archive_faults` / :func:`apply_runtime_faults`) turns the
   CLI's compact ``kind:member[:key=value...]`` strings into applied
   faults.
+* **Chaos faults** target the *concurrent* layers (PR 9):
+  :class:`DyingMember` kills its executor task outright with
+  :class:`InjectedThreadDeath` (a ``BaseException``, so it bypasses the
+  member wrapper's fault conversion and exercises the executor's
+  thread-death firewall); :class:`BurstySlowMember` is slow only inside
+  scheduled clock windows (a member that degrades under load, not
+  always); and :class:`ChaosSchedule` draws a whole seeded storm /
+  stall / slow-burst / thread-death timeline for the replay harness
+  (:mod:`repro.experiments.serve_chaos`) to execute on a
+  :class:`ManualClock`.
 
 :class:`ManualClock` is the deterministic time source the whole layer is
 tested with — the service, breakers, and ``SlowMember`` all accept it.
@@ -29,7 +39,8 @@ from __future__ import annotations
 import pathlib
 import time
 import zipfile
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -123,6 +134,174 @@ class SlowMember(_WrappedModel):
         else:
             time.sleep(self.seconds)
         return self.model(x)
+
+
+class InjectedThreadDeath(BaseException):
+    """A member task dying abruptly — deliberately *not* an ``Exception``.
+
+    :meth:`ServingMember.predict` converts every ``Exception`` into a
+    :class:`MemberFault`; deriving from ``BaseException`` lets this one
+    sail past that net, exactly like a crashed C extension or an
+    interpreter-level error would, so the executor's own thread-death
+    firewall is what gets exercised.
+    """
+
+
+class DyingMember(_WrappedModel):
+    """A member whose task dies (not merely faults) on schedule.
+
+    Two addressing modes, combinable: ``on_calls`` are 0-based
+    forward-call indices (unit tests), ``windows`` are ``(start, end)``
+    clock intervals (the chaos replay's death events — every call
+    landing inside one dies).  A scheduled call raises
+    :class:`InjectedThreadDeath` instead of answering.
+    """
+
+    def __init__(self, model, on_calls=(), windows=(), clock=None):
+        super().__init__(model)
+        self.on_calls = frozenset(int(c) for c in on_calls)
+        self.windows = [(float(start), float(end))
+                        for start, end in windows]
+        self.clock = clock
+        self.calls = 0
+        self.deaths = 0
+
+    def _in_window(self) -> bool:
+        if not self.windows:
+            return False
+        now = self.clock() if self.clock is not None else time.monotonic()
+        return any(start <= now < end for start, end in self.windows)
+
+    def __call__(self, x):
+        call = self.calls
+        self.calls += 1
+        if call in self.on_calls or self._in_window():
+            self.deaths += 1
+            raise InjectedThreadDeath(
+                f"injected executor-task death (call {call})")
+        return self.model(x)
+
+
+class BurstySlowMember(_WrappedModel):
+    """A member that is slow only inside scheduled clock windows.
+
+    ``windows`` are ``(start, end)`` pairs on the injected clock's
+    timeline; a forward call landing inside one burns ``seconds`` (clock
+    advance with a :class:`ManualClock`, a real sleep otherwise).
+    Outside every window the member behaves normally — the
+    intermittently-degrading member that a constant
+    :class:`SlowMember` cannot model.
+    """
+
+    def __init__(self, model, seconds: float,
+                 windows: List[Tuple[float, float]],
+                 clock: Optional[ManualClock] = None):
+        super().__init__(model)
+        self.seconds = float(seconds)
+        self.windows = [(float(start), float(end))
+                        for start, end in windows]
+        self.clock = clock
+        self.slow_calls = 0
+
+    def _in_window(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self.windows)
+
+    def __call__(self, x):
+        now = self.clock() if self.clock is not None else time.monotonic()
+        if self._in_window(now):
+            self.slow_calls += 1
+            if isinstance(self.clock, ManualClock):
+                self.clock.advance(self.seconds)
+            else:
+                time.sleep(self.seconds)
+        return self.model(x)
+
+
+# ----------------------------------------------------------------------
+# Seeded chaos schedules for the concurrent pipeline.
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChaosEvent:
+    """One scheduled disturbance on the replay timeline."""
+
+    kind: str                      # "storm" | "stall" | "slow" | "death"
+    start: float                   # clock seconds
+    duration: float
+    #: storm: arrival-rate multiplier; slow: seconds per affected call.
+    magnitude: float = 0.0
+    #: slow / death: the targeted member's original index.
+    member: Optional[int] = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded timeline of chaos events over a replay horizon.
+
+    :meth:`draw` samples event starts, durations and targets from one
+    ``Generator``, so a (seed, horizon, members) triple names the entire
+    schedule — the chaos suite replays 100 of these and every one is
+    reproducible bit-for-bit.
+
+    Event kinds and what the replay harness does with them:
+
+    * ``storm``  — multiply the Poisson arrival rate by ``magnitude``
+      for the window (queue saturation: drives admission control);
+    * ``stall``  — the pump does not run inside the window (requests
+      accumulate; the sojourn signal spikes when pumping resumes);
+    * ``slow``   — wrap ``member`` in :class:`BurstySlowMember` for the
+      window (service-time inflation: drives brownout);
+    * ``death``  — ``member``'s task dies on the first calls inside the
+      window (exercises the executor's thread-death firewall and the
+      breaker).
+    """
+
+    events: List[ChaosEvent] = field(default_factory=list)
+
+    KINDS = ("storm", "stall", "slow", "death")
+
+    @classmethod
+    def draw(cls, rng: np.random.Generator, horizon: float,
+             members: int, events: int = 4,
+             kinds: Optional[List[str]] = None) -> "ChaosSchedule":
+        """Sample ``events`` disturbances over ``[0, horizon)`` seconds."""
+        kinds = list(kinds or cls.KINDS)
+        drawn = []
+        for _ in range(int(events)):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            start = float(rng.uniform(0.0, horizon * 0.8))
+            duration = float(rng.uniform(horizon * 0.05, horizon * 0.25))
+            event = ChaosEvent(kind=kind, start=start, duration=duration)
+            if kind == "storm":
+                event.magnitude = float(rng.uniform(2.0, 6.0))
+            elif kind == "slow":
+                event.magnitude = float(rng.uniform(0.002, 0.02))
+                event.member = int(rng.integers(members))
+            elif kind == "death":
+                event.member = int(rng.integers(members))
+            drawn.append(event)
+        drawn.sort(key=lambda event: event.start)
+        return cls(events=drawn)
+
+    def of_kind(self, kind: str) -> List[ChaosEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def stalled(self, now: float) -> bool:
+        """Is the pump stalled at clock time ``now``?"""
+        return any(event.start <= now < event.end
+                   for event in self.of_kind("stall"))
+
+    def rate_multiplier(self, now: float) -> float:
+        """Arrival-rate multiplier at clock time ``now`` (storms stack)."""
+        factor = 1.0
+        for event in self.of_kind("storm"):
+            if event.start <= now < event.end:
+                factor *= event.magnitude
+        return factor
 
 
 class CorruptArchive:

@@ -1,4 +1,4 @@
-"""The scheduling layer: a bounded queue and an adaptive micro-batcher.
+"""The scheduling layer: a bounded queue, a micro-batcher, admission control.
 
 Ensemble inference is dominated by per-dispatch overhead at serving
 batch sizes: a request of a few rows pays the full Python/op-dispatch
@@ -16,14 +16,31 @@ cost K× — the classic dynamic-batching lever of model servers.
 
 Requests are admitted to a **bounded** FIFO queue (depth
 ``queue_depth``); an admission beyond the bound raises
-:class:`QueueFull` — backpressure surfaces at the front door instead of
-growing an unbounded backlog.  A batch is the *maximal FIFO prefix of
-equal row counts*: stacking only same-sized requests means every block
-boundary of the stacked array is a request boundary, which is what lets
-the batch-invariant GEMM blocking (:mod:`repro.ops.batching`) make
-batched answers bit-identical to solo ones.  Mixed-size traffic still
-batches — each size run drains as its own batch — it just never mixes
-sizes inside one stack.
+:class:`~repro.serving.errors.QueueFull` — backpressure surfaces at the
+front door instead of growing an unbounded backlog.  A batch is the
+*maximal FIFO prefix of equal row counts*: stacking only same-sized
+requests means every block boundary of the stacked array is a request
+boundary, which is what lets the batch-invariant GEMM blocking
+(:mod:`repro.ops.batching`) make batched answers bit-identical to solo
+ones.  Mixed-size traffic still batches — each size run drains as its
+own batch — it just never mixes sizes inside one stack.
+
+**Admission control.**  A bounded queue alone fails the saturation test:
+by the time :class:`QueueFull` fires, every queued request already
+carries the whole backlog's worth of latency, and the queue re-fills the
+instant it drains one slot — the classic full-queue standing-latency
+pathology.  :class:`AdmissionController` sheds *earlier*, CoDel style,
+on the queue's *sojourn time* (how long the head of the queue has been
+waiting) instead of its length: when the sojourn stays above
+``target_delay_ms`` for a full ``interval_ms``, the controller enters a
+shedding episode and new arrivals are refused with
+:class:`~repro.serving.errors.Overloaded` — carrying a computed
+``retry_after`` — while the backlog still exceeds the target; the first
+batch formed with its head back under the target closes the episode.
+Requests already queued are never dropped: shedding happens only at the
+front door, so every admitted ticket still completes or fails, which is
+what makes the chaos harness's conservation invariant
+(admitted = completed + shed + failed) checkable.
 
 Two pump modes:
 
@@ -33,6 +50,13 @@ Two pump modes:
 * :meth:`start` — a background daemon thread that waits on a condition
   variable, honours ``max_wait_ms`` with real timed waits, and processes
   batches as they form.  Requires a real (monotonic) clock.
+
+**Shutdown.**  :meth:`stop` closes the front door *first* (subsequent
+:meth:`submit` raises :class:`~repro.serving.errors.ServiceUnavailable`
+immediately), then stops the pump and drains what is already queued — so
+a submit racing a concurrent stop either completes normally (it got in
+before the door closed; the drain loop serves it) or raises; a ticket is
+never left pending forever.
 
 The batcher knows nothing about ensembles: it hands ``process(stacked,
 requests)`` the concatenated payload and the pending entries, and the
@@ -50,11 +74,10 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 
-__all__ = ["MicroBatcher", "PendingRequest", "QueueFull"]
+from repro.serving.errors import Overloaded, QueueFull, ServiceUnavailable
 
-
-class QueueFull(RuntimeError):
-    """Admission refused: the bounded request queue is at capacity."""
+__all__ = ["AdmissionController", "MicroBatcher", "PendingRequest",
+           "QueueFull"]
 
 
 @dataclass
@@ -70,6 +93,67 @@ class PendingRequest:
         self.rows = int(len(self.x))
 
 
+class AdmissionController:
+    """CoDel-style load shedding on queue sojourn time.
+
+    The controller watches one signal: the **sojourn** of the head of
+    the queue — how long the oldest waiting request has been queued —
+    observed each time a batch is formed (:meth:`observe`) and estimated
+    live at each admission attempt (:meth:`admit`).  State machine:
+
+    * **clear** — sojourns at or under ``target_delay``.  Everything is
+      admitted.  The first sojourn above the target starts the
+      ``interval`` grace timer (a transient burst that drains within one
+      interval never sheds).
+    * **shedding** — the sojourn stayed above target for a full
+      interval: the backlog is *standing*, not a burst.  While the live
+      sojourn estimate still exceeds the target, new arrivals are
+      refused with ``retry_after = max(excess delay, interval)`` — the
+      time the queue plausibly needs to drain back under target.  An
+      arrival that finds the estimate back under target is admitted, and
+      the next batch formed with its head under target closes the
+      episode.
+
+    Deterministic by construction (no randomness, injectable clock), so
+    the chaos replays shed identically run to run.  Thread-safety: the
+    batcher calls both methods under its own queue lock.
+    """
+
+    def __init__(self, target_delay_ms: float = 20.0,
+                 interval_ms: float = 100.0):
+        if target_delay_ms <= 0:
+            raise ValueError(
+                f"target_delay_ms must be positive, got {target_delay_ms}")
+        if interval_ms <= 0:
+            raise ValueError(
+                f"interval_ms must be positive, got {interval_ms}")
+        self.target = float(target_delay_ms) / 1000.0
+        self.interval = float(interval_ms) / 1000.0
+        self._first_above: Optional[float] = None
+        self.shedding = False
+        self.shed_total = 0
+        self.episodes = 0
+
+    def observe(self, sojourn: float, now: float) -> None:
+        """Record the head-of-queue sojourn at batch formation time."""
+        if sojourn <= self.target:
+            self._first_above = None
+            self.shedding = False
+            return
+        if self._first_above is None:
+            self._first_above = now
+        elif not self.shedding and now - self._first_above >= self.interval:
+            self.shedding = True
+            self.episodes += 1
+
+    def admit(self, sojourn_estimate: float, now: float) -> Optional[float]:
+        """``None`` to admit, else the ``retry_after`` hint for a shed."""
+        if not self.shedding or sojourn_estimate <= self.target:
+            return None
+        self.shed_total += 1
+        return max(sojourn_estimate - self.target, self.interval)
+
+
 class MicroBatcher:
     """Coalesce queued requests into same-row-count stacked batches."""
 
@@ -77,6 +161,7 @@ class MicroBatcher:
                                          None],
                  max_batch_rows: int = 128, max_wait_ms: float = 2.0,
                  queue_depth: int = 256,
+                 admission: Optional[AdmissionController] = None,
                  clock: Callable[[], float] = time.monotonic):
         if max_batch_rows < 1:
             raise ValueError(
@@ -89,23 +174,50 @@ class MicroBatcher:
         self.max_batch_rows = int(max_batch_rows)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.queue_depth = int(queue_depth)
+        self.admission = admission
         self.clock = clock
         self._queue: List[PendingRequest] = []
         self._cond = threading.Condition()
         self._pump: Optional[threading.Thread] = None
         self._running = False
+        self._closed = False
         self.batches_formed = 0
         self.requests_batched = 0
+        self.requests_admitted = 0
+        self.requests_shed = 0
 
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray, ticket: Any) -> PendingRequest:
-        """Admit one request; raises :class:`QueueFull` at capacity."""
-        pending = PendingRequest(x=x, ticket=ticket, enqueued=self.clock())
+        """Admit one request.
+
+        Raises :class:`~repro.serving.errors.Overloaded` when the
+        admission controller is shedding,
+        :class:`~repro.serving.errors.QueueFull` at queue capacity, and
+        :class:`~repro.serving.errors.ServiceUnavailable` after
+        :meth:`stop` closed the front door.
+        """
+        now = self.clock()
+        pending = PendingRequest(x=x, ticket=ticket, enqueued=now)
         with self._cond:
+            if self._closed:
+                raise ServiceUnavailable(
+                    "micro-batcher is stopped; no new requests admitted")
+            sojourn = now - self._queue[0].enqueued if self._queue else 0.0
+            if self.admission is not None:
+                retry_after = self.admission.admit(sojourn, now)
+                if retry_after is not None:
+                    self.requests_shed += 1
+                    raise Overloaded(
+                        f"queue delay {sojourn * 1000:.1f}ms above the "
+                        f"{self.admission.target * 1000:g}ms target",
+                        retry_after=retry_after)
             if len(self._queue) >= self.queue_depth:
+                self.requests_shed += 1
                 raise QueueFull(
-                    f"request queue at capacity ({self.queue_depth})")
+                    f"request queue at capacity ({self.queue_depth})",
+                    retry_after=max(sojourn, self.max_wait) or None)
             self._queue.append(pending)
+            self.requests_admitted += 1
             self._cond.notify()
         return pending
 
@@ -113,11 +225,23 @@ class MicroBatcher:
         with self._cond:
             return len(self._queue)
 
+    def head_enqueued(self) -> Optional[float]:
+        """Admission time of the oldest queued request (``None``: empty).
+
+        Virtual-time replay harnesses use this to know when the current
+        batching window expires without reaching into the queue.
+        """
+        with self._cond:
+            return self._queue[0].enqueued if self._queue else None
+
     # ------------------------------------------------------------------
     def _form_batch(self) -> List[PendingRequest]:
         """Pop the maximal same-row-count FIFO prefix (caller holds lock)."""
         if not self._queue:
             return []
+        if self.admission is not None:
+            now = self.clock()
+            self.admission.observe(now - self._queue[0].enqueued, now)
         rows = self._queue[0].rows
         take = 0
         total = 0
@@ -159,6 +283,9 @@ class MicroBatcher:
         with self._cond:
             if self._running:
                 return self
+            if self._closed:
+                raise ServiceUnavailable(
+                    "micro-batcher is stopped; cannot restart the pump")
             self._running = True
             self._pump = threading.Thread(target=self._pump_loop,
                                           name="repro-batcher", daemon=True)
@@ -166,8 +293,16 @@ class MicroBatcher:
         return self
 
     def stop(self) -> None:
-        """Stop the pump (if any) and drain what is already queued."""
+        """Close the front door, stop the pump, drain what got in.
+
+        Ordering is the shutdown contract: ``_closed`` is published
+        under the queue lock *before* the drain, so any submit that wins
+        the race is in the queue when the drain loop runs (its ticket
+        completes), and any submit that loses raises immediately —
+        never a forever-pending ticket.
+        """
         with self._cond:
+            self._closed = True
             self._running = False
             self._cond.notify_all()
         if self._pump is not None:

@@ -121,6 +121,9 @@ class ServedPrediction:
     #: Per-member softmax rows (original index -> probs); populated only
     #: when ``ServiceConfig.expose_member_probs`` is set.
     member_probs: Optional[Dict[int, np.ndarray]] = None
+    #: Brownout degrade level this answer was served at (0 = full
+    #: roster).  ``members_used`` records the exact roster that voted.
+    brownout_level: int = 0
 
     @property
     def labels(self) -> np.ndarray:
@@ -128,7 +131,8 @@ class ServedPrediction:
 
     @property
     def degraded(self) -> bool:
-        return bool(self.members_skipped) or self.alpha_mass < 1.0
+        return bool(self.members_skipped) or self.alpha_mass < 1.0 or \
+            self.brownout_level > 0
 
 
 @dataclass
@@ -154,6 +158,12 @@ class ServiceHealth:
     monitor_alarms: Dict[str, bool] = field(default_factory=dict)
     #: Hot swaps applied by the repair loop over the service lifetime.
     member_swaps: int = 0
+    #: Requests refused by admission control (Overloaded/QueueFull).
+    requests_shed: int = 0
+    #: Current brownout degrade level (0 when no pressure controller is
+    #: attached or pressure is clear) and the roster it would serve.
+    brownout_level: int = 0
+    brownout_members: Optional[List[int]] = None
 
 
 class InferenceService:
@@ -189,6 +199,7 @@ class InferenceService:
         self._served = 0
         self._rejected = 0
         self._unavailable = 0
+        self._shed = 0
         # Hot-swap machinery: ``replace_member`` publishes a fresh member
         # list under this lock (copy-on-write); readers snapshot the list
         # once per request, so an in-flight prediction sees either the
@@ -200,6 +211,10 @@ class InferenceService:
         #: Optional drift monitor (duck-typed: anything with
         #: ``alarm_summary() -> Dict[str, bool]``); surfaced in health().
         self.monitor = None
+        #: Optional pressure controller (duck-typed: anything with
+        #: ``snapshot() -> dict`` and ``roster_for``); attached by the
+        #: pipeline when brownout is enabled, surfaced in health().
+        self.pressure = None
         if len(self.members) < self.min_members:
             raise ServiceUnavailable(
                 f"quorum not met: {len(self.members)} member(s) loaded, "
@@ -291,7 +306,7 @@ class InferenceService:
     def finish(self, outputs: List[Tuple[ServingMember, np.ndarray]],
                skipped: List[Tuple[int, str, str]],
                alpha_configured: float, deadline_hit: bool,
-               latency: float) -> ServedPrediction:
+               latency: float, brownout_level: int = 0) -> ServedPrediction:
         """Aggregate completed member outputs into one answer.
 
         The single place the Eq. 16 arithmetic lives: bit-identical to
@@ -325,6 +340,7 @@ class InferenceService:
             latency=latency,
             member_probs={member.index: probs for member, probs in outputs}
             if self.config.expose_member_probs else None,
+            brownout_level=brownout_level,
         )
 
     def count_rejected(self) -> None:
@@ -334,6 +350,13 @@ class InferenceService:
     def count_unavailable(self) -> None:
         with self._stats_lock:
             self._unavailable += 1
+
+    def count_shed(self) -> None:
+        """One request refused by admission control (also unavailable —
+        :class:`Overloaded` is a :class:`ServiceUnavailable`)."""
+        with self._stats_lock:
+            self._unavailable += 1
+            self._shed += 1
 
     def validate(self, x) -> np.ndarray:
         """Screen one request payload; counts and raises on rejection."""
@@ -415,6 +438,38 @@ class InferenceService:
         """
         self.monitor = monitor
 
+    def attach_pressure(self, pressure) -> None:
+        """Surface a pressure controller's ``snapshot()`` in :meth:`health`.
+
+        Duck-typed for the same layering reason as :meth:`attach_monitor`:
+        the service must not import :mod:`repro.serving.pressure` (a
+        sub-layer above it).
+        """
+        self.pressure = pressure
+
+    def member_health_scores(self, members: Optional[List[ServingMember]]
+                             = None) -> Dict[int, float]:
+        """Health score per member (higher is sicker) for brownout ranking.
+
+        The primary signal is the drift monitor's rolling
+        deviation-from-consensus score (PR 7) when a monitor is attached;
+        each member's lifetime breaker fault count is added on top, so a
+        member that keeps faulting ranks sicker than one that never has
+        even before any drift evidence accumulates.  Members absent from
+        both signals score 0.0 (healthy).
+        """
+        if members is None:
+            members, _ = self.roster_snapshot()
+        scores = {member.index: 0.0 for member in members}
+        if self.monitor is not None and \
+                hasattr(self.monitor, "member_scores"):
+            for index, score in self.monitor.member_scores().items():
+                if index in scores:
+                    scores[index] += float(score)
+        for member in members:
+            scores[member.index] += float(member.breaker.total_faults)
+        return scores
+
     # ------------------------------------------------------------------
     def health(self) -> ServiceHealth:
         """Current liveness/readiness snapshot (cheap; no model runs).
@@ -431,7 +486,7 @@ class InferenceService:
             member_swaps = self._member_swaps
         with self._stats_lock:
             served, rejected = self._served, self._rejected
-            unavailable = self._unavailable
+            unavailable, shed = self._unavailable, self._shed
         live, quarantined = [], {}
         alpha_live = 0.0
         for member in members:
@@ -442,6 +497,14 @@ class InferenceService:
                 alpha_live += member.alpha
         mass = 1.0 if alpha_configured <= 0 else \
             alpha_live / alpha_configured
+        brownout_level = 0
+        brownout_members = None
+        if self.pressure is not None:
+            brownout_level = int(self.pressure.snapshot().get("level", 0))
+            if brownout_level > 0:
+                roster, _ = self.pressure.roster_for(
+                    members, self.member_health_scores(members))
+                brownout_members = [member.index for member in roster]
         report = self.load_report
         load_summary = ""
         if report.degraded:
@@ -473,4 +536,7 @@ class InferenceService:
             monitor_alarms=dict(self.monitor.alarm_summary())
             if self.monitor is not None else {},
             member_swaps=member_swaps,
+            requests_shed=shed,
+            brownout_level=brownout_level,
+            brownout_members=brownout_members,
         )

@@ -1,12 +1,12 @@
 """The transport layer: an async front door over the serving pipeline.
 
-:class:`ServingPipeline` composes the three serving layers into the
-concurrent request path::
+:class:`ServingPipeline` composes the serving layers into the concurrent
+request path::
 
     submit() ──► MicroBatcher ──► MemberExecutor ──► finish() ──► Ticket
-    (validate)   (coalesce        (members on a      (Eq. 16 α
-                  same-size        thread pool,       aggregate,
-                  requests)        blocked GEMMs)     per request)
+    (validate,   (coalesce         (members on a      (Eq. 16 α
+     admission    same-size         thread pool,       aggregate,
+     control)     requests)         blocked GEMMs)     per request)
 
 * :meth:`submit` validates the payload (the service's counters see every
   rejection), enqueues it and returns a :class:`Ticket`;
@@ -26,6 +26,33 @@ softmax rows back apart and aggregating per request through
 ``service.predict`` for that request alone.  The property test asserts
 equality with ``==``, not ``allclose``.
 
+**Overload.**  At saturation the pipeline degrades in two deliberate
+steps instead of collapsing:
+
+1. *Admission control* — the batcher's CoDel-style
+   :class:`~repro.serving.scheduler.AdmissionController` (enabled by
+   ``target_delay_ms``) sheds arrivals with
+   :class:`~repro.serving.errors.Overloaded` + ``retry_after`` once the
+   queue's sojourn time stands above target; the bounded queue's
+   :class:`~repro.serving.errors.QueueFull` is the hard edge of the same
+   taxonomy.
+2. *Brownout* — a :class:`~repro.serving.pressure.PressureController`
+   (enabled by ``brownout=True``) maps the same sojourn signal to a
+   degrade level; at elevated levels batches are served by only the K
+   healthiest members (health scores from the drift monitor + breaker
+   history, α renormalised per Eq. 16 — still bit-identical to
+   ``Ensemble.predict_probs`` over that subset), and the full roster
+   returns with hysteresis once pressure clears.  Every answer records
+   the roster that voted (``members_used``) and the level it was served
+   at (``brownout_level``); the live level is surfaced in
+   :meth:`ServiceHealth <repro.serving.service.InferenceService.health>`.
+
+**Conservation.**  :meth:`stats` exposes the overload ledger — every
+validated request is exactly one of admitted / shed, and every admitted
+request resolves to exactly one of completed / failed
+(``admitted == completed + failed`` once in-flight work drains).  The
+chaos harness asserts this invariant over seeded fault schedules.
+
 **Deadlines.**  A deadline-bearing request skips the queue: its budget
 starts ticking at submit, and burning it in a batching window would be
 self-defeating.  It runs immediately on the member executor (parallel
@@ -36,7 +63,8 @@ members, partial α-renormalised aggregate over whatever finished), so
 :meth:`~InferenceService.roster_snapshot` — the copy-on-write roster
 published under the swap lock — so a concurrent hot swap can never tear
 a batch: it answers entirely from the pre-swap or entirely from the
-post-swap ensemble.
+post-swap ensemble.  Brownout selection happens per batch *after* the
+snapshot, so a browned-out batch is a subset of one consistent roster.
 
 Thread-safety contract: tickets are single-producer (the pump or the
 submitting thread) / multi-consumer (poll/result from anywhere);
@@ -47,16 +75,25 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.serving.errors import InvalidRequest, ServiceUnavailable
+from repro.serving.errors import (
+    InvalidRequest,
+    Overloaded,
+    ServiceUnavailable,
+)
 from repro.serving.executor import MemberExecutor
-from repro.serving.scheduler import MicroBatcher, PendingRequest, QueueFull
+from repro.serving.pressure import PressureConfig, PressureController
+from repro.serving.scheduler import (
+    AdmissionController,
+    MicroBatcher,
+    PendingRequest,
+)
 from repro.serving.service import InferenceService, ServedPrediction
 
-__all__ = ["PipelineConfig", "ServingPipeline", "Ticket"]
+__all__ = ["PipelineConfig", "PipelineStats", "ServingPipeline", "Ticket"]
 
 
 @dataclass
@@ -69,6 +106,12 @@ class PipelineConfig:
     ``batch_invariant=False`` drops the blocked-GEMM guarantee (answers
     may differ from solo in the last ulp; marginally faster) — kept as
     an escape hatch and for measuring the cost of the guarantee.
+
+    ``target_delay_ms`` enables CoDel-style admission control on the
+    batcher queue (``None`` disables — the PR 8 behaviour);
+    ``interval_ms`` is its grace interval.  ``brownout=True`` attaches a
+    :class:`PressureController` (tuned via ``pressure``) that serves
+    only the healthiest K members at elevated queue pressure.
     """
 
     max_batch_rows: int = 128
@@ -77,6 +120,30 @@ class PipelineConfig:
     workers: Optional[int] = None      # None: pool default; 0: inline
     batching: bool = True
     batch_invariant: bool = True
+    target_delay_ms: Optional[float] = None
+    interval_ms: float = 100.0
+    brownout: bool = False
+    pressure: Optional[PressureConfig] = None
+
+
+@dataclass
+class PipelineStats:
+    """The overload ledger: where every validated request ended up."""
+
+    submitted: int       # validated requests that reached admission
+    admitted: int        # accepted for execution (queued or solo)
+    shed: int            # refused by admission control / full queue
+    completed: int       # ticket resolved with an answer
+    failed: int          # ticket resolved with an error
+    pending: int         # admitted, not yet resolved
+
+    @property
+    def conserved(self) -> bool:
+        """admitted = completed + failed (+ still pending) and every
+        submission was either admitted or shed."""
+        return (self.submitted == self.admitted + self.shed and
+                self.admitted == self.completed + self.failed +
+                self.pending)
 
 
 class Ticket:
@@ -101,6 +168,10 @@ class Ticket:
     def done(self) -> bool:
         return self._event.is_set()
 
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
     def wait(self, timeout: Optional[float] = None) -> ServedPrediction:
         if not self._event.wait(timeout):
             raise TimeoutError(
@@ -124,6 +195,15 @@ class ServingPipeline:
         self.clock = service.clock
         self.executor = MemberExecutor(workers=self.config.workers,
                                        clock=self.clock)
+        self.pressure: Optional[PressureController] = None
+        if self.config.brownout:
+            self.pressure = PressureController(self.config.pressure)
+            service.attach_pressure(self.pressure)
+        admission = None
+        if self.config.target_delay_ms is not None:
+            admission = AdmissionController(
+                target_delay_ms=self.config.target_delay_ms,
+                interval_ms=self.config.interval_ms)
         self.batcher: Optional[MicroBatcher] = None
         if self.config.batching:
             self.batcher = MicroBatcher(
@@ -131,7 +211,15 @@ class ServingPipeline:
                 max_batch_rows=self.config.max_batch_rows,
                 max_wait_ms=self.config.max_wait_ms,
                 queue_depth=self.config.queue_depth,
+                admission=admission,
                 clock=self.clock)
+        # The conservation ledger; counters cross thread boundaries.
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._admitted = 0
+        self._shed = 0
+        self._completed = 0
+        self._failed = 0
 
     # ------------------------------------------------------------------
     def start(self, pump: bool = True) -> "ServingPipeline":
@@ -157,10 +245,12 @@ class ServingPipeline:
     def submit(self, x, deadline: Optional[float] = None) -> Ticket:
         """Validate and enqueue one request; returns its :class:`Ticket`.
 
-        Raises :class:`InvalidRequest` for malformed payloads and
-        :class:`ServiceUnavailable` when the bounded queue is full
-        (backpressure).  Deadline-bearing requests execute immediately
-        (see module docstring) and return an already-completed ticket.
+        Raises :class:`InvalidRequest` for malformed payloads,
+        :class:`Overloaded` (with a ``retry_after`` hint) when admission
+        control sheds the request or the bounded queue is full, and
+        :class:`ServiceUnavailable` after shutdown.  Deadline-bearing
+        requests execute immediately (see module docstring) and return
+        an already-completed ticket.
         """
         if deadline is not None and deadline <= 0:
             self.service.count_rejected()
@@ -168,15 +258,28 @@ class ServingPipeline:
                 f"deadline must be positive, got {deadline}",
                 field="deadline")
         x = self.service.validate(x)
+        with self._stats_lock:
+            self._submitted += 1
         ticket = Ticket()
         if deadline is not None or self.batcher is None:
+            with self._stats_lock:
+                self._admitted += 1
             self._execute_solo(x, ticket, deadline)
             return ticket
         try:
             self.batcher.submit(x, ticket)
-        except QueueFull as error:
+        except Overloaded:
+            with self._stats_lock:
+                self._shed += 1
+            self.service.count_shed()
+            raise
+        except ServiceUnavailable:
+            with self._stats_lock:
+                self._shed += 1
             self.service.count_unavailable()
-            raise ServiceUnavailable(str(error)) from error
+            raise
+        with self._stats_lock:
+            self._admitted += 1
         return ticket
 
     def poll(self, ticket: Ticket) -> bool:
@@ -194,22 +297,52 @@ class ServingPipeline:
         signature served through the concurrent pipeline."""
         return self.result(self.submit(x, deadline=deadline))
 
+    def stats(self) -> PipelineStats:
+        """The conservation ledger (one consistent lock read)."""
+        with self._stats_lock:
+            return PipelineStats(
+                submitted=self._submitted, admitted=self._admitted,
+                shed=self._shed, completed=self._completed,
+                failed=self._failed,
+                pending=self._admitted - self._completed - self._failed)
+
     # ------------------------------------------------------------------
+    def _complete_ticket(self, ticket: Ticket,
+                         prediction: ServedPrediction) -> None:
+        ticket._complete(prediction)
+        with self._stats_lock:
+            self._completed += 1
+
+    def _fail_ticket(self, ticket: Ticket, error: BaseException) -> None:
+        ticket._fail(error)
+        with self._stats_lock:
+            self._failed += 1
+
+    def _brownout_roster(self, members):
+        """Apply the pressure controller's healthiest-K selection."""
+        if self.pressure is None:
+            return members, 0
+        roster, level = self.pressure.roster_for(
+            members, self.service.member_health_scores(members))
+        return (roster, level) if roster else (members, 0)
+
     def _execute_solo(self, x: np.ndarray, ticket: Ticket,
                       deadline: Optional[float]) -> None:
         """Run one request through the executor, bypassing the batcher."""
         started = self.clock()
         try:
             members, alpha_configured = self.service.roster_snapshot()
+            members, level = self._brownout_roster(members)
             outputs, skipped, deadline_hit = self.executor.run(
                 members, x, batch_size=self.service.config.batch_size,
                 deadline=deadline, started=started)
-            ticket._complete(self.service.finish(
+            self._complete_ticket(ticket, self.service.finish(
                 outputs, skipped, alpha_configured,
                 deadline_hit=deadline_hit,
-                latency=self.clock() - started))
+                latency=self.clock() - started,
+                brownout_level=level))
         except BaseException as error:  # noqa: BLE001 — routed to waiter
-            ticket._fail(error)
+            self._fail_ticket(ticket, error)
 
     def _process_batch(self, stacked: np.ndarray,
                        batch: List[PendingRequest]) -> None:
@@ -217,8 +350,15 @@ class ServingPipeline:
         slicing and aggregation.  Must not raise (scheduler contract):
         every failure lands on the tickets."""
         rows = batch[0].rows
+        if self.pressure is not None:
+            # The same sojourn signal admission control sheds on drives
+            # the brownout level: the oldest request in this batch has
+            # waited exactly the queue's standing delay.
+            self.pressure.observe(
+                self.clock() - min(pending.enqueued for pending in batch))
         try:
             members, alpha_configured = self.service.roster_snapshot()
+            members, level = self._brownout_roster(members)
             outputs, skipped, _hit = self.executor.run(
                 members, stacked,
                 # One chunk: chunking at config.batch_size could split
@@ -228,16 +368,17 @@ class ServingPipeline:
                 len(batch) > 1 else None)
         except BaseException as error:  # noqa: BLE001 — routed to waiters
             for pending in batch:
-                pending.ticket._fail(error)
+                self._fail_ticket(pending.ticket, error)
             return
         for position, pending in enumerate(batch):
             lo, hi = position * rows, (position + 1) * rows
             try:
                 sliced = [(member, probs[lo:hi])
                           for member, probs in outputs]
-                pending.ticket._complete(self.service.finish(
+                self._complete_ticket(pending.ticket, self.service.finish(
                     sliced, list(skipped), alpha_configured,
                     deadline_hit=False,
-                    latency=self.clock() - pending.enqueued))
+                    latency=self.clock() - pending.enqueued,
+                    brownout_level=level))
             except BaseException as error:  # noqa: BLE001
-                pending.ticket._fail(error)
+                self._fail_ticket(pending.ticket, error)

@@ -1,0 +1,234 @@
+"""The retrying client: backoff, retry_after, budgets, hedging.
+
+Everything runs against a scripted fake pipeline on a
+:class:`ManualClock` — the client's clock and sleep are injected, so
+every retry and hedge decision is exact virtual-time arithmetic, not a
+wall-clock race.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import InvalidRequest, Overloaded, QueueFull, \
+    ServiceUnavailable
+from repro.serving.client import ClientStats, RetryConfig, RetryingClient
+from repro.serving.faults import ManualClock
+
+X = np.zeros((2, 4), dtype=np.float32)
+
+
+class FakePrediction:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class FakeTicket:
+    """Completes at an absolute clock time; honours wait() semantics."""
+
+    def __init__(self, clock, ready_at, prediction=None, error=None):
+        self.clock = clock
+        self.ready_at = float(ready_at)
+        self.prediction = prediction
+        self.error = error
+
+    @property
+    def done(self):
+        return self.clock.now >= self.ready_at
+
+    @property
+    def failed(self):
+        return self.done and self.error is not None
+
+    def wait(self, timeout=None):
+        if not self.done:
+            if timeout is not None and \
+                    self.clock.now + timeout < self.ready_at:
+                self.clock.advance(timeout)
+                raise TimeoutError(f"not ready within {timeout}")
+            self.clock.now = self.ready_at
+        if self.error is not None:
+            raise self.error
+        return self.prediction
+
+
+class FakePipeline:
+    """Pops one scripted outcome per submit().
+
+    Script entries: an exception instance (submit raises it), a float
+    (a ticket completing that many seconds from now) or a tuple
+    ``(delay, error)`` (a ticket failing after ``delay``).
+    """
+
+    def __init__(self, clock, script):
+        self.clock = clock
+        self.script = list(script)
+        self.submissions = 0
+
+    def submit(self, x, deadline=None):
+        self.submissions += 1
+        entry = self.script.pop(0)
+        if isinstance(entry, BaseException):
+            raise entry
+        if isinstance(entry, tuple):
+            delay, error = entry
+            return FakeTicket(self.clock, self.clock.now + delay,
+                              error=error)
+        return FakeTicket(self.clock, self.clock.now + float(entry),
+                          prediction=FakePrediction(self.submissions))
+
+
+def make_client(script, clock=None, **config):
+    clock = clock or ManualClock()
+    pipeline = FakePipeline(clock, script)
+    client = RetryingClient(pipeline, RetryConfig(**config),
+                            clock=clock, sleep=clock.advance)
+    return client, pipeline, clock
+
+
+# ----------------------------------------------------------------------
+class TestRetries:
+    def test_first_attempt_success_makes_no_retry(self):
+        client, pipeline, _ = make_client([0.01])
+        prediction = client.predict(X)
+        assert prediction.tag == 1
+        assert client.stats.attempts == 1 and client.stats.retries == 0
+        assert client.stats.failures == 0
+
+    def test_retry_after_is_a_floor_on_the_backoff(self):
+        client, _, clock = make_client(
+            [Overloaded("shed", retry_after=0.3), 0.01],
+            base_delay=0.001, max_delay=0.002)
+        client.predict(X)
+        assert client.stats.retries == 1
+        assert client.stats.shed_seen == 1
+        assert client.stats.slept >= 0.3            # jitter clamped up
+        assert clock.now >= 0.3
+
+    def test_queue_full_counts_as_shed_and_is_retried(self):
+        client, _, _ = make_client(
+            [QueueFull("full", retry_after=0.05), 0.01])
+        client.predict(X)
+        assert client.stats.shed_seen == 1
+        assert client.stats.errors_seen == {"queue-full": 1}
+
+    def test_invalid_request_is_never_retried(self):
+        client, pipeline, _ = make_client(
+            [InvalidRequest("bad payload"), 0.01])
+        with pytest.raises(InvalidRequest):
+            client.predict(X)
+        assert pipeline.submissions == 1
+        assert client.stats.failures == 1
+        assert client.stats.retries == 0
+
+    def test_exhaustion_reraises_the_last_error(self):
+        errors = [Overloaded(f"shed {n}", retry_after=0.01)
+                  for n in range(3)]
+        client, pipeline, _ = make_client(errors, max_attempts=3)
+        with pytest.raises(Overloaded) as caught:
+            client.predict(X)
+        assert "shed 2" in str(caught.value)
+        assert pipeline.submissions == 3
+        assert client.stats.failures == 1
+
+    def test_jitter_is_bounded_and_seeded(self):
+        script = [ServiceUnavailable("down")] * 3 + [0.0]
+        slept = []
+        for _ in range(2):
+            client, _, _ = make_client(
+                list(script), base_delay=0.05, max_delay=0.1, seed=9,
+                max_attempts=4)
+            client.predict(X)
+            assert client.stats.slept <= 0.05 + 0.1 + 0.1   # sum of caps
+            slept.append(client.stats.slept)
+        assert slept[0] == slept[1]                 # same seed, same jitter
+
+    def test_budget_stops_retrying_early(self):
+        client, pipeline, _ = make_client(
+            [Overloaded("shed", retry_after=5.0)] * 4,
+            max_attempts=4, budget=1.0)
+        with pytest.raises(Overloaded):
+            client.predict(X)
+        assert pipeline.submissions == 1            # sleep would blow it
+        assert client.stats.slept == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RetryConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryConfig(base_delay=0.5, max_delay=0.1)
+        with pytest.raises(ValueError):
+            RetryConfig(budget=0.0)
+
+
+# ----------------------------------------------------------------------
+class TestHedging:
+    def test_hedge_wins_a_slow_primary(self):
+        client, pipeline, _ = make_client(
+            [1.0, 0.01], hedge=True, hedge_delay=0.05)
+        prediction = client.predict(X)
+        assert prediction.tag == 2                  # the hedge answered
+        assert client.stats.hedges == 1
+        assert client.stats.hedge_wins == 1
+        assert pipeline.submissions == 2
+
+    def test_fast_primary_never_hedges(self):
+        client, pipeline, _ = make_client(
+            [0.01], hedge=True, hedge_delay=0.05)
+        client.predict(X)
+        assert client.stats.hedges == 0
+        assert pipeline.submissions == 1
+
+    def test_shed_hedge_is_dropped_not_retried(self):
+        client, pipeline, _ = make_client(
+            [0.2, Overloaded("shed", retry_after=9.0)],
+            hedge=True, hedge_delay=0.05)
+        prediction = client.predict(X)
+        assert prediction.tag == 1                  # primary still answers
+        assert client.stats.hedges == 1
+        assert client.stats.hedge_wins == 0
+        assert client.stats.shed_seen == 1
+        assert client.stats.retries == 0            # hedge shed != retry
+        assert pipeline.submissions == 2
+
+    def test_failed_hedge_falls_back_to_primary(self):
+        client, _, _ = make_client(
+            [0.2, (0.01, ServiceUnavailable("member loss"))],
+            hedge=True, hedge_delay=0.05)
+        prediction = client.predict(X)
+        assert prediction.tag == 1
+        assert client.stats.hedge_wins == 0
+
+    def test_both_failing_reraises_the_primary_error(self):
+        primary_error = ServiceUnavailable("primary down")
+        client, _, _ = make_client(
+            [(0.2, primary_error),
+             (0.01, ServiceUnavailable("hedge down"))] +
+            [Overloaded("shed")] * 3,
+            hedge=True, hedge_delay=0.05, max_attempts=2)
+        with pytest.raises(ServiceUnavailable):
+            client.predict(X)
+        # The primary's failure is what was recorded and retried.
+        assert client.stats.errors_seen.get("service-unavailable", 0) >= 1
+
+    def test_hedging_disabled_until_p95_data_exists(self):
+        client, pipeline, _ = make_client(
+            [0.01] * 3 + [5.0], hedge=True, hedge_delay=None,
+            hedge_min_samples=3)
+        assert client._hedge_delay() is None        # no bootstrap, no data
+        for _ in range(3):
+            client.predict(X)
+        expected = float(np.percentile(
+            np.asarray(client._latencies), 95))
+        assert client._hedge_delay() == pytest.approx(expected)
+
+    def test_latency_window_is_bounded(self):
+        client, _, _ = make_client([0.01] * 6, latency_window=4)
+        for _ in range(6):
+            client.predict(X)
+        assert len(client._latencies) == 4
+
+
+class TestStatsShape:
+    def test_stats_start_zeroed(self):
+        stats = ClientStats()
+        assert stats.calls == 0 and stats.errors_seen == {}
