@@ -1,6 +1,6 @@
 """``repro lint`` — the project's AST-based invariant checker.
 
-Five rules encode the invariants PRs 1–4 established in prose:
+Eight rules encode the invariants PRs 1–9 established in prose:
 
 ====== ===================== ==========================================
 code   name                  invariant
@@ -18,13 +18,22 @@ RL004  op-registry-contract  every forward has a backward; kernels never
                              stashed ctx attrs; multi-grad backwards
                              consult ctx.needs
 RL005  fault-path-hygiene    no bare except, no swallowed broad except
+RL006  guarded-attributes    writes/RMW of registered cross-thread
+                             attributes hold the declared lock; thread-
+                             local modules stay thread-local
+RL007  lock-ordering         static lock-acquisition graph runs strictly
+                             down the declared rank order; no cycles
+RL008  condition-hygiene     wait() under a while predicate loop;
+                             wait/notify only while holding the cond
 ====== ===================== ==========================================
 
 Violations are suppressed inline with ``# repro-lint: disable=CODE``
 (reason in trailing parentheses); ``repro lint --stats`` emits a JSON
-summary for trend tracking.  The package is stdlib-only (``ast`` +
-``tokenize``) and imports nothing from the numeric stack, so it can gate
-CI before anything heavy loads.
+summary for trend tracking and ``repro lint --format json`` the full
+machine-readable findings document.  Suppressions that no longer silence
+anything are reported as unused and fail the run.  The package is
+stdlib-only (``ast`` + ``tokenize``) and imports nothing from the
+numeric stack, so it can gate CI before anything heavy loads.
 """
 
 from repro.analysis.lint.engine import (
@@ -32,6 +41,7 @@ from repro.analysis.lint.engine import (
     Project,
     Rule,
     SourceFile,
+    UnusedSuppression,
     Violation,
     collect_files,
     run_lint,
@@ -41,6 +51,12 @@ from repro.analysis.lint.determinism import DeterminismRule
 from repro.analysis.lint.dtype_policy import DtypePolicyRule
 from repro.analysis.lint.registry_contract import RegistryContractRule
 from repro.analysis.lint.fault_hygiene import FaultHygieneRule
+from repro.analysis.lint.concurrency import (
+    GUARDED_CLASSES,
+    ConditionHygieneRule,
+    GuardedAttributeRule,
+    LockOrderingRule,
+)
 
 
 def default_rules():
@@ -51,6 +67,9 @@ def default_rules():
         DtypePolicyRule(),
         RegistryContractRule(),
         FaultHygieneRule(),
+        GuardedAttributeRule(),
+        LockOrderingRule(),
+        ConditionHygieneRule(),
     ]
 
 
@@ -58,16 +77,21 @@ ALL_RULES = default_rules()
 
 __all__ = [
     "ALL_RULES",
+    "ConditionHygieneRule",
     "DeterminismRule",
     "DtypePolicyRule",
     "FaultHygieneRule",
+    "GUARDED_CLASSES",
+    "GuardedAttributeRule",
     "LAYER_GRAPH",
     "LayeringRule",
     "LintReport",
+    "LockOrderingRule",
     "Project",
     "RegistryContractRule",
     "Rule",
     "SourceFile",
+    "UnusedSuppression",
     "Violation",
     "collect_files",
     "default_rules",

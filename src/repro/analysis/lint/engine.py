@@ -15,7 +15,11 @@ comment line immediately above it) silences the named code(s) there;
 several codes are comma-separated and an optional trailing ``(reason)``
 documents why.  ``# repro-lint: disable-file=RL001`` anywhere in a file's
 first 20 lines silences a code for the whole file.  Suppressions are
-counted in the stats so a tree full of them is still visible.
+counted in the stats so a tree full of them is still visible, and every
+suppression must *earn its keep*: a ``disable=`` comment that no longer
+silences any violation of a rule that ran is reported as unused (and
+fails the run) so stale escapes cannot accumulate after the underlying
+code is fixed.
 
 Adding a rule
 -------------
@@ -53,17 +57,69 @@ class Violation:
 
 
 @dataclass
+class SuppressionEntry:
+    """One parsed ``# repro-lint: disable[-file]=...`` comment.
+
+    ``used_codes`` records which of its codes actually silenced a
+    violation during the run — the unused-suppression audit compares it
+    against ``codes`` afterwards.
+    """
+
+    line: int                       # line the comment sits on
+    codes: Set[str]
+    targets: Set[int] = field(default_factory=set)   # lines it covers
+    file_wide: bool = False
+    used_codes: Set[str] = field(default_factory=set)
+
+
+@dataclass
 class Suppressions:
     """Parsed ``# repro-lint: disable=...`` comments for one file."""
 
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    file_wide: Set[str] = field(default_factory=set)
+    entries: List[SuppressionEntry] = field(default_factory=list)
 
     def covers(self, violation: Violation) -> bool:
-        if violation.code in self.file_wide:
-            return True
-        codes = self.by_line.get(violation.line, ())
-        return violation.code in codes
+        hit = False
+        for entry in self.entries:
+            if violation.code in entry.codes and (
+                    entry.file_wide or violation.line in entry.targets):
+                entry.used_codes.add(violation.code)
+                hit = True
+        return hit
+
+    def unused(self, rules_run: Iterable[str]) -> List[Tuple[int, List[str]]]:
+        """(comment line, dead codes) for every suppression that never fired.
+
+        Only codes of rules that actually ran count as dead — a
+        suppression for a rule excluded from this run is not evidence
+        the escape is stale.
+        """
+        ran = set(rules_run)
+        stale: List[Tuple[int, List[str]]] = []
+        for entry in self.entries:
+            dead = sorted((entry.codes & ran) - entry.used_codes)
+            if dead:
+                stale.append((entry.line, dead))
+        return stale
+
+    # Backwards-compatible views of the parsed entries.
+    @property
+    def by_line(self) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for entry in self.entries:
+            if entry.file_wide:
+                continue
+            for target in entry.targets:
+                table.setdefault(target, set()).update(entry.codes)
+        return table
+
+    @property
+    def file_wide(self) -> Set[str]:
+        codes: Set[str] = set()
+        for entry in self.entries:
+            if entry.file_wide:
+                codes |= entry.codes
+        return codes
 
 
 def _parse_suppressions(text: str) -> Suppressions:
@@ -93,17 +149,17 @@ def _parse_suppressions(text: str) -> Suppressions:
             continue
         if file_scope:
             if line_no <= _FILE_SCOPE_LINES:
-                supp.file_wide |= codes
+                supp.entries.append(SuppressionEntry(
+                    line=line_no, codes=codes, file_wide=True))
             continue
-        target = line_no
-        # A standalone comment line suppresses the line below it.
+        targets = {line_no}
+        # A standalone comment line suppresses the line below it (and its
+        # own line, covering the statement-start line AST nodes report
+        # for multi-line statements).
         if physical_line.strip().startswith("#"):
-            target = line_no + 1
-        supp.by_line.setdefault(target, set()).update(codes)
-        # Same-line suppressions also apply to their own line (covers the
-        # statement-start line AST nodes report for multi-line statements).
-        if target != line_no:
-            supp.by_line.setdefault(line_no, set()).update(codes)
+            targets.add(line_no + 1)
+        supp.entries.append(SuppressionEntry(
+            line=line_no, codes=codes, targets=targets))
     return supp
 
 
@@ -214,6 +270,20 @@ def collect_files(paths: Sequence[str]) -> Tuple[List[SourceFile], List[str]]:
     return files, errors
 
 
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``disable=`` comment whose codes silenced nothing this run."""
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:0: unused suppression for "
+                f"{', '.join(self.codes)} — no violation left to silence; "
+                "delete the comment")
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run, renderable as text or JSON stats."""
@@ -223,10 +293,11 @@ class LintReport:
     files_scanned: int
     rules_run: List[str]
     errors: List[str] = field(default_factory=list)
+    unused: List[UnusedSuppression] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations and not self.errors
+        return not self.violations and not self.errors and not self.unused
 
     def by_code(self, which: Sequence[Violation]) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -243,15 +314,41 @@ class LintReport:
             "violations_by_code": self.by_code(self.violations),
             "suppressed_total": len(self.suppressed),
             "suppressed_by_code": self.by_code(self.suppressed),
+            "unused_suppressions": [
+                {"path": u.path, "line": u.line, "codes": list(u.codes)}
+                for u in self.unused],
             "parse_errors": len(self.errors),
+        }
+
+    def payload(self) -> Dict[str, object]:
+        """The ``--format json`` document: every finding, machine-readable."""
+        def finding(violation: Violation) -> Dict[str, object]:
+            return {"path": violation.path, "line": violation.line,
+                    "col": violation.col, "code": violation.code,
+                    "message": violation.message}
+
+        order = lambda v: (v.path, v.line, v.col, v.code)
+        return {
+            "ok": self.ok,
+            "violations": [finding(v)
+                           for v in sorted(self.violations, key=order)],
+            "suppressed": [finding(v)
+                           for v in sorted(self.suppressed, key=order)],
+            "unused_suppressions": [
+                {"path": u.path, "line": u.line, "codes": list(u.codes)}
+                for u in self.unused],
+            "errors": list(self.errors),
+            "stats": self.stats(),
         }
 
     def render(self) -> str:
         lines = [v.render() for v in sorted(
             self.violations, key=lambda v: (v.path, v.line, v.col, v.code))]
+        lines.extend(u.render() for u in self.unused)
         lines.extend(self.errors)
         summary = (f"{len(self.violations)} violation(s), "
                    f"{len(self.suppressed)} suppressed, "
+                   f"{len(self.unused)} unused suppression(s), "
                    f"{self.files_scanned} file(s) scanned")
         lines.append(summary if lines else f"clean: {summary}")
         return "\n".join(lines)
@@ -270,7 +367,13 @@ def run_lint(paths: Sequence[str], rules: Sequence[Rule]) -> LintReport:
                     suppressed.append(violation)
                 else:
                     kept.append(violation)
+    rules_run = [rule.code for rule in rules]
+    unused: List[UnusedSuppression] = []
+    for file in files:
+        for line, dead in file.suppressions.unused(rules_run):
+            unused.append(UnusedSuppression(
+                path=str(file.path), line=line, codes=tuple(dead)))
     return LintReport(violations=kept, suppressed=suppressed,
                       files_scanned=len(files),
-                      rules_run=[rule.code for rule in rules],
-                      errors=errors)
+                      rules_run=rules_run,
+                      errors=errors, unused=unused)

@@ -5,7 +5,7 @@ serving split (PR 4) is declared here as an explicit graph: each package
 names the packages it may *directly* depend on, transitive dependencies
 follow by closure.  The dependency arrows point strictly downwards::
 
-    utils   ops
+    utils   ops   concurrency (leaf; feeds serving + analysis)
       \\     |
        \\  tensor
         \\ /  \\
@@ -50,6 +50,10 @@ from repro.analysis.lint.engine import Project, Rule, SourceFile, Violation
 LAYER_GRAPH: Dict[str, Set[str]] = {
     "utils": set(),
     "ops": set(),
+    # The lock model + runtime sanitizer (PR 10): stdlib-only, imported
+    # by both the serving layers (tracked lock factories) and the lint
+    # rules (rank table), so it sits at the very bottom of the DAG.
+    "concurrency": set(),
     "tensor": {"ops"},
     "data": {"tensor", "utils"},
     "nn": {"tensor", "ops", "utils"},
@@ -57,8 +61,8 @@ LAYER_GRAPH: Dict[str, Set[str]] = {
     "models": {"nn", "utils"},
     "core": {"models", "optim", "data", "nn", "utils"},
     "baselines": {"core", "utils"},
-    "analysis": {"core", "utils"},
-    "serving": {"core", "utils"},
+    "analysis": {"core", "utils", "concurrency"},
+    "serving": {"core", "utils", "concurrency"},
     # Drift sub-layers (PR 7): the monitor reads served outputs, the
     # repair loop additionally retrains on buffered data — both sit
     # strictly above plain ``serving`` (the service must stay importable

@@ -374,7 +374,8 @@ def _cmd_serve_chaos(args) -> int:
 
     payload = run_chaos_suite(ChaosConfig(
         schedules=args.schedules, events=args.events,
-        horizon_s=args.horizon, seed=args.seed))
+        horizon_s=args.horizon, seed=args.seed),
+        lock_sanitizer=args.lock_sanitizer)
     print(f"{payload['schedules']} schedules at "
           f"{payload['base_rate_rps']:.0f} rps base rate "
           f"(events drawn: {payload['event_kinds']})")
@@ -382,6 +383,9 @@ def _cmd_serve_chaos(args) -> int:
           f"shed {payload['total_shed']}, "
           f"failed {payload['total_failed']}, "
           f"member deaths {payload['total_member_deaths']}")
+    if args.lock_sanitizer:
+        print(f"  lock sanitizer armed: "
+              f"{payload['lock_order_violations']} ordering violation(s)")
     if payload["ok"]:
         print("  all invariants held (no deadlock, no torn batch, "
               "ledger conserved)")
@@ -537,7 +541,10 @@ def _cmd_lint(args) -> int:
             stats_path = pathlib.Path(args.stats)
             stats_path.parent.mkdir(parents=True, exist_ok=True)
             stats_path.write_text(payload + "\n")
-    print(report.render())
+    if args.format == "json":
+        print(json.dumps(report.payload(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 
@@ -723,6 +730,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "no artifact)")
     chaos.add_argument("--bench-name", default="CHAOS_serving",
                        help="artifact basename when --results is set")
+    chaos.add_argument("--lock-sanitizer", action="store_true",
+                       help="replay every schedule under lock_order_mode: "
+                            "rank-checked locks turn any ordering "
+                            "violation into an invariant failure")
     chaos.set_defaults(func=_cmd_serve_chaos)
 
     grid = commands.add_parser(
@@ -751,15 +762,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the AST-based invariant checker (RL001–RL005) over "
-             "source trees; exits 1 on violations")
+        help="run the AST-based invariant checker (RL001–RL008) over "
+             "source trees; exits 1 on violations or unused suppressions")
     lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
                       help="files or directories to lint "
                            "(default: src benchmarks)")
     lint.add_argument("--stats", default=None, metavar="PATH",
                       help="write a JSON summary (rules run, files "
-                           "scanned, violations by code) to PATH, or '-' "
-                           "for stdout")
+                           "scanned, violations by code, unused "
+                           "suppressions) to PATH, or '-' for stdout")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format: human-readable text (default) "
+                           "or the full machine-readable findings JSON")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
     lint.set_defaults(func=_cmd_lint)

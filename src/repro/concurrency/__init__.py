@@ -1,0 +1,53 @@
+"""Concurrency correctness primitives for the serving stack.
+
+Two halves share one declarative lock model
+(:mod:`repro.concurrency.model`):
+
+* the **runtime sanitizer** (:mod:`repro.concurrency.sanitizer`) —
+  :func:`lock_order_mode` wraps registered locks in rank-checking
+  proxies that raise :class:`LockOrderError` on any acquisition against
+  the declared order (and on locks held across the scheduler/executor
+  boundaries), instead of letting a schedule-dependent deadlock wedge
+  the process;
+* the **static rules** (RL006–RL008 in
+  :mod:`repro.analysis.lint.concurrency`) — the same model drives
+  guarded-attribute discipline, the static lock-acquisition graph and
+  condition-variable hygiene under ``repro lint``.
+
+The package is stdlib-only and sits at the bottom of the layer DAG, so
+both the lint engine and the serving layers can import it freely.
+"""
+
+from repro.concurrency.model import (
+    LOCK_RANKS,
+    LOCKS,
+    LockSpec,
+    lock_order,
+)
+from repro.concurrency.sanitizer import (
+    LockOrderError,
+    TrackedLock,
+    check_boundary,
+    held_locks,
+    lock_order_enabled,
+    lock_order_mode,
+    tracked_condition,
+    tracked_lock,
+    tracked_rlock,
+)
+
+__all__ = [
+    "LOCKS",
+    "LOCK_RANKS",
+    "LockOrderError",
+    "LockSpec",
+    "TrackedLock",
+    "check_boundary",
+    "held_locks",
+    "lock_order",
+    "lock_order_enabled",
+    "lock_order_mode",
+    "tracked_condition",
+    "tracked_lock",
+    "tracked_rlock",
+]

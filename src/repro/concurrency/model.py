@@ -1,0 +1,112 @@
+"""The declarative lock model for the serving stack.
+
+One table names every cross-thread lock the serving layers create, where
+it lives (module / class / attribute), what kind of primitive it is, and
+its **rank** in the global acquisition order.  Ranks encode the declared
+lock-ordering DAG as a total order: a thread may only acquire a lock
+whose rank is *strictly greater* than every rank it already holds —
+outer locks have small ranks, inner locks large ones.  Any two threads
+that both respect the order can never deadlock on these locks, whatever
+interleaving the scheduler picks.
+
+The table is consumed from both sides of the concurrency pass:
+
+* statically — the RL007 lint rule
+  (:mod:`repro.analysis.lint.concurrency`) rebuilds the acquisition
+  graph from the AST and fails on any edge that contradicts the ranks
+  (and on any cycle, via Tarjan SCC);
+* dynamically — :mod:`repro.concurrency.sanitizer` wraps each lock in a
+  thin proxy inside :func:`~repro.concurrency.sanitizer.lock_order_mode`
+  and asserts every real acquisition against the same ranks.
+
+Registering a new lock
+----------------------
+Add a :class:`LockSpec` entry here (pick a rank that places it in the
+order — gaps are deliberate), then create the lock through the matching
+factory (:func:`~repro.concurrency.sanitizer.tracked_lock` /
+``tracked_rlock`` / ``tracked_condition``) instead of ``threading``
+directly.  The factories reject names missing from this table, so the
+model and the code cannot drift apart.  If the lock guards attributes,
+also register them in
+:data:`repro.analysis.lint.concurrency.GUARDED_CLASSES` so RL006
+enforces the discipline.
+
+The declared order (outer → inner)::
+
+    service.swap ──► pressure ──► breaker ──► service.stats
+                                                   │
+                                      transport.stats ──► scheduler.cond
+
+``scheduler.cond`` is innermost — *terminal*: the batcher must never
+call out into the service/executor stack while holding its queue lock
+(batch dispatch happens after release; the runtime
+:func:`~repro.concurrency.sanitizer.check_boundary` hook enforces the
+same contract dynamically at the dispatch and executor entry points).
+
+This module is stdlib-only so the lint engine can import it before
+anything heavy loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Lock primitive kinds (what the runtime factory builds).
+KIND_LOCK = "lock"
+KIND_RLOCK = "rlock"
+KIND_CONDITION = "condition"
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """One registered lock: identity, location, and rank in the order."""
+
+    name: str                  # e.g. "service.swap"
+    rank: int                  # strictly increasing outer -> inner
+    module: str                # dotted module that creates it
+    cls: str                   # class whose instances own it
+    attr: str                  # attribute the lock is stored under
+    kind: str = KIND_LOCK
+
+
+#: Every cross-thread lock in the serving stack, by name.  Ranks are
+#: spaced by 10 so a new lock can slot between two existing ones without
+#: renumbering the table.
+LOCKS: Dict[str, LockSpec] = {
+    spec.name: spec for spec in (
+        LockSpec("service.swap", 10, "repro.serving.service",
+                 "InferenceService", "_swap_lock"),
+        LockSpec("pressure", 20, "repro.serving.pressure",
+                 "PressureController", "_lock"),
+        LockSpec("breaker", 30, "repro.serving.breaker",
+                 "CircuitBreaker", "_lock", kind=KIND_RLOCK),
+        LockSpec("service.stats", 40, "repro.serving.service",
+                 "InferenceService", "_stats_lock"),
+        LockSpec("transport.stats", 50, "repro.serving.transport",
+                 "ServingPipeline", "_stats_lock"),
+        LockSpec("scheduler.cond", 60, "repro.serving.scheduler",
+                 "MicroBatcher", "_cond", kind=KIND_CONDITION),
+    )
+}
+
+#: name -> rank shortcut used by the runtime sanitizer's hot path.
+LOCK_RANKS: Dict[str, int] = {name: spec.rank for name, spec in LOCKS.items()}
+
+
+def lock_order() -> Tuple[str, ...]:
+    """Lock names in declared acquisition order (outer first)."""
+    return tuple(sorted(LOCKS, key=lambda name: LOCKS[name].rank))
+
+
+def validate_model() -> None:
+    """Sanity-check the table (unique ranks, unique attributes per class)."""
+    ranks = [spec.rank for spec in LOCKS.values()]
+    if len(set(ranks)) != len(ranks):
+        raise ValueError(f"LOCKS ranks must be unique, got {sorted(ranks)}")
+    owners = [(spec.module, spec.cls, spec.attr) for spec in LOCKS.values()]
+    if len(set(owners)) != len(owners):
+        raise ValueError("two LockSpecs name the same module/class/attr")
+
+
+validate_model()

@@ -1,0 +1,297 @@
+"""The runtime lock-order sanitizer: tracked locks + ``lock_order_mode``.
+
+PR 5's :func:`repro.tensor.sanitize.sanitize_mode` pattern applied to
+concurrency: a context that is **bit-transparent on the happy path** but
+turns every lock acquisition into an assertion while active.  Inside
+:func:`lock_order_mode`, the serving stack's lock factories hand out
+thin proxies that record a per-thread *held set* and check each
+acquisition against the declared rank order
+(:mod:`repro.concurrency.model`); any acquisition that runs against the
+order — the schedule-dependent precondition of a deadlock, whether or
+not this particular interleaving actually deadlocks — raises
+:class:`LockOrderError` naming both locks and the offending thread
+instead of wedging the process.
+
+Outside the mode the factories return plain ``threading`` primitives:
+the production fast path pays nothing, and the chaos harness
+(:mod:`repro.experiments.serve_chaos`) constructs its pipelines *inside*
+the mode so its 100 seeded schedules double as a race/deadlock detector.
+Because the checks never block and never reorder anything, a sanitized
+replay is bit-identical to an unsanitized one — the chaos suite asserts
+ledger equality to prove it.
+
+What is checked on each acquisition (enabled mode only):
+
+* **rank order** — the new lock's rank must exceed every rank this
+  thread already holds (reacquiring the same reentrant lock is fine);
+* **self-deadlock** — blocking on a non-reentrant lock the thread
+  already holds raises immediately instead of hanging forever;
+* **instance order** — two *instances* of the same rank (e.g. two
+  breakers) may not nest: instance-level cycles deadlock just as hard
+  as class-level ones.
+
+Condition variables are tracked through their underlying lock, so a
+``wait()`` correctly *removes* the condition from the held set for the
+duration of the wait and re-adds it on wake — a thread parked in
+``wait()`` holds nothing.
+
+:func:`check_boundary` is the executor-boundary assertion: placed at the
+scheduler's dispatch hook and the member executor's entry, it raises if
+the calling thread still holds any tracked lock — holding a queue or
+roster lock across a batch execution is the lock-held-across-boundary
+bug class that turns one slow member into a service-wide stall.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, List, Optional
+
+from repro.concurrency.model import (
+    KIND_CONDITION,
+    KIND_RLOCK,
+    LOCK_RANKS,
+    LOCKS,
+)
+
+__all__ = [
+    "LockOrderError",
+    "TrackedLock",
+    "check_boundary",
+    "held_locks",
+    "lock_order_enabled",
+    "lock_order_mode",
+    "tracked_condition",
+    "tracked_lock",
+    "tracked_rlock",
+]
+
+# Global (not thread-local) enablement: the mode must see acquisitions
+# from every pump/executor/client thread, not just the one that entered
+# the context.  A depth counter supports nesting.
+_mode_lock = threading.Lock()
+_mode_depth = 0
+
+_held = threading.local()          # per-thread list of held TrackedLocks
+
+
+class LockOrderError(RuntimeError):
+    """A lock acquisition (or boundary crossing) violated the declared order.
+
+    Attributes
+    ----------
+    acquiring: name of the lock being acquired (``None`` for boundary
+        violations).
+    holding: names of the locks the thread already held, outermost first.
+    thread: name of the offending thread.
+    """
+
+    def __init__(self, message: str, acquiring: Optional[str],
+                 holding: List[str], thread: str):
+        super().__init__(message)
+        self.acquiring = acquiring
+        self.holding = holding
+        self.thread = thread
+
+
+def lock_order_enabled() -> bool:
+    """Whether lock acquisitions are currently being checked."""
+    return _mode_depth > 0
+
+
+@contextlib.contextmanager
+def lock_order_mode(enabled: bool = True) -> Iterator[None]:
+    """Run the body with lock-order checking armed.
+
+    Locks must be *created* inside the mode to be tracked (the factories
+    choose proxy vs. raw primitive at construction time, keeping the
+    production path at literally zero overhead) — build the service and
+    pipeline under the context, the way the chaos harness does.  Nests;
+    checking stays on until the outermost context exits.
+    """
+    global _mode_depth
+    if not enabled:
+        yield
+        return
+    with _mode_lock:
+        _mode_depth += 1
+    try:
+        yield
+    finally:
+        with _mode_lock:
+            _mode_depth -= 1
+
+
+def _stack() -> List["TrackedLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def held_locks() -> List[str]:
+    """Names of the tracked locks the calling thread holds, outer first."""
+    return [lock.name for lock in _stack()]
+
+
+class TrackedLock:
+    """A rank-checked proxy over one ``threading`` lock primitive.
+
+    Satisfies the context-manager and ``acquire``/``release`` protocol,
+    so :class:`threading.Condition` can be built directly on top of one
+    (its wait path releases and re-acquires through the proxy, keeping
+    the held set honest while a thread is parked).
+    """
+
+    __slots__ = ("name", "rank", "reentrant", "_lock")
+
+    def __init__(self, name: str, rank: Optional[int] = None,
+                 reentrant: bool = False):
+        if rank is None:
+            if name not in LOCK_RANKS:
+                raise ValueError(
+                    f"unregistered lock name {name!r}; add a LockSpec to "
+                    f"repro.concurrency.model.LOCKS (known: "
+                    f"{', '.join(sorted(LOCK_RANKS))})")
+            rank = LOCK_RANKS[name]
+        self.name = name
+        self.rank = int(rank)
+        self.reentrant = bool(reentrant)
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _check_acquire(self, blocking: bool) -> bool:
+        """Validate this acquisition; returns False to *decline* quietly.
+
+        The quiet-decline path exists for ``Condition._is_owned``, which
+        probes ownership with ``acquire(False)`` on a lock the thread
+        already holds — that probe must report "busy", not raise.
+        """
+        stack = _stack()
+        if not stack:
+            return True
+        for held in stack:
+            if held is self:
+                if self.reentrant:
+                    return True
+                if not blocking:
+                    return False           # ownership probe: report busy
+                raise LockOrderError(
+                    f"self-deadlock: thread "
+                    f"{threading.current_thread().name!r} blocked on "
+                    f"non-reentrant lock '{self.name}' it already holds",
+                    acquiring=self.name, holding=held_locks(),
+                    thread=threading.current_thread().name)
+        worst = max(stack, key=lambda lock: lock.rank)
+        if self.rank <= worst.rank:
+            raise LockOrderError(
+                f"lock-order violation: thread "
+                f"{threading.current_thread().name!r} acquired "
+                f"'{self.name}' (rank {self.rank}) while holding "
+                f"'{worst.name}' (rank {worst.rank}); declared order "
+                f"requires strictly increasing ranks "
+                f"(held: {' -> '.join(held_locks())})",
+                acquiring=self.name, holding=held_locks(),
+                thread=threading.current_thread().name)
+        return True
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if lock_order_enabled():
+            if not self._check_acquire(blocking):
+                return False
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            _stack().append(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        stack = _stack()
+        # Remove the most recent entry for this lock; tolerate entries
+        # missing when the mode was entered mid-critical-section.
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] is self:
+                del stack[position]
+                break
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r}, rank={self.rank})"
+
+
+# ----------------------------------------------------------------------
+def tracked_lock(name: str) -> "threading.Lock | TrackedLock":
+    """A mutex registered under ``name`` in the lock model.
+
+    Returns a plain :class:`threading.Lock` when :func:`lock_order_mode`
+    is not active at creation time — the production path carries no
+    proxy — and a rank-checked :class:`TrackedLock` when it is.
+    """
+    _require(name, KIND_RLOCK, invert=True)
+    if lock_order_enabled():
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def tracked_rlock(name: str) -> "threading.RLock | TrackedLock":
+    """Reentrant variant of :func:`tracked_lock`."""
+    _require(name, KIND_RLOCK)
+    if lock_order_enabled():
+        return TrackedLock(name, reentrant=True)
+    return threading.RLock()
+
+
+def tracked_condition(name: str) -> threading.Condition:
+    """A condition variable whose lock is registered under ``name``.
+
+    The tracked variant builds :class:`threading.Condition` over a
+    :class:`TrackedLock`, so ``wait()`` releases (and removes from the
+    held set) and re-acquires (re-checking the order) through the proxy.
+    """
+    _require(name, KIND_CONDITION)
+    if lock_order_enabled():
+        return threading.Condition(lock=TrackedLock(name))
+    return threading.Condition()
+
+
+def _require(name: str, kind: str, invert: bool = False) -> None:
+    spec = LOCKS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unregistered lock name {name!r}; add a LockSpec to "
+            f"repro.concurrency.model.LOCKS (known: "
+            f"{', '.join(sorted(LOCKS))})")
+    matches = spec.kind == kind
+    if matches == invert:
+        raise ValueError(
+            f"lock {name!r} is registered as kind {spec.kind!r}; use the "
+            "matching factory")
+
+
+# ----------------------------------------------------------------------
+def check_boundary(boundary: str) -> None:
+    """Assert the calling thread holds no tracked lock at ``boundary``.
+
+    Placed where control leaves the locking discipline's scope — the
+    micro-batcher's dispatch hook, the member executor's entry — where
+    holding any registered lock would serialize the very work the lock
+    was supposed to stay out of (and can deadlock outright once the
+    downstream path takes its own locks).  Free when the mode is off.
+    """
+    if not lock_order_enabled():
+        return
+    holding = held_locks()
+    if holding:
+        raise LockOrderError(
+            f"lock held across boundary '{boundary}': thread "
+            f"{threading.current_thread().name!r} still holds "
+            f"{' -> '.join(holding)}; this boundary must be crossed "
+            "lock-free",
+            acquiring=None, holding=holding,
+            thread=threading.current_thread().name)

@@ -29,6 +29,17 @@ What each replay asserts (the *invariants*, not point predictions):
 ``repro serve-chaos`` and the CI ``chaos-smoke`` job run
 :func:`run_chaos_suite` over many seeds; the acceptance bar is 100
 consecutive schedules with every invariant green.
+
+With ``lock_sanitizer=True`` (``repro serve-chaos --lock-sanitizer``)
+every schedule additionally replays inside
+:func:`repro.concurrency.lock_order_mode`: the pipeline is *constructed*
+under the mode, so its locks become rank-checked proxies and the seeded
+schedules double as a race/deadlock detector — any acquisition against
+the declared order surfaces as a ``lock_order`` invariant failure naming
+both locks and the thread, instead of a once-in-a-blue-moon hang.  The
+sanitizer never blocks or reorders anything, so a sanitized replay's
+ledger is bit-identical to an unsanitized one (the test suite asserts
+exactly that).
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.concurrency import LockOrderError, lock_order_mode
 from repro.experiments.serve_overload import (
     OverloadConfig,
     _payloads,
@@ -149,23 +161,50 @@ def _unstall(schedule: ChaosSchedule):
 
 
 # ----------------------------------------------------------------------
-def run_chaos_schedule(config: ChaosConfig, seed: int) -> Dict:
-    """Draw one schedule from ``seed``, replay it, check every invariant."""
+def run_chaos_schedule(config: ChaosConfig, seed: int,
+                       lock_sanitizer: bool = False) -> Dict:
+    """Draw one schedule from ``seed``, replay it, check every invariant.
+
+    ``lock_sanitizer=True`` builds and replays the pipeline inside
+    :func:`~repro.concurrency.lock_order_mode`; a
+    :class:`~repro.concurrency.LockOrderError` anywhere in the replay
+    fails the run's ``lock_order`` invariant (instead of deadlocking).
+    """
     rng = np.random.default_rng(
         np.random.SeedSequence([0xC4A05, int(config.seed), int(seed)]))
     schedule = ChaosSchedule.draw(rng, horizon=config.horizon_s,
                                   members=config.service.ensemble_size,
                                   events=config.events)
     clock = ManualClock()
-    service = build_overload_service(config.service, clock)
-    _apply_schedule(service, schedule, clock)
-    pipeline = _pipeline(config.service, service, resilient=True)
-    arrivals = chaos_arrivals(config, schedule, rng)
-    payloads = _payloads(config.service, len(arrivals), rng)
-    record = replay(pipeline, clock, arrivals, payloads,
-                    unstall=_unstall(schedule))
-    stats = pipeline.stats()
-    pipeline.close()
+    lock_order_failure: Optional[str] = None
+    with lock_order_mode(lock_sanitizer):
+        service = build_overload_service(config.service, clock)
+        _apply_schedule(service, schedule, clock)
+        pipeline = _pipeline(config.service, service, resilient=True)
+        arrivals = chaos_arrivals(config, schedule, rng)
+        payloads = _payloads(config.service, len(arrivals), rng)
+        try:
+            record = replay(pipeline, clock, arrivals, payloads,
+                            unstall=_unstall(schedule))
+        except LockOrderError as violation:
+            lock_order_failure = str(violation)
+            record = None
+        stats = pipeline.stats()
+        pipeline.close()
+
+    if record is None:
+        return {
+            "seed": int(seed),
+            "events": [asdict(event) for event in schedule.events],
+            "arrivals": int(len(arrivals)),
+            "submitted": stats.submitted, "admitted": stats.admitted,
+            "shed": stats.shed, "completed": stats.completed,
+            "failed": stats.failed,
+            "member_deaths": 0, "brownout_batches": 0,
+            "invariants": {"lock_order": False},
+            "lock_order_error": lock_order_failure,
+            "ok": False,
+        }
 
     completed = record.completed()
     shape = (config.service.rows, config.service.num_classes)
@@ -184,6 +223,8 @@ def run_chaos_schedule(config: ChaosConfig, seed: int) -> Dict:
         stats.shed == len(record.shed) and
         stats.completed == len(completed),
     }
+    if lock_sanitizer:
+        invariants["lock_order"] = True     # no LockOrderError escaped
     levels = [prediction.brownout_level for _, _, prediction in completed]
     return {
         "seed": int(seed),
@@ -199,10 +240,11 @@ def run_chaos_schedule(config: ChaosConfig, seed: int) -> Dict:
     }
 
 
-def run_chaos_suite(config: Optional[ChaosConfig] = None) -> Dict:
+def run_chaos_suite(config: Optional[ChaosConfig] = None,
+                    lock_sanitizer: bool = False) -> Dict:
     """Replay ``config.schedules`` seeded schedules; all must hold."""
     config = config or ChaosConfig()
-    runs = [run_chaos_schedule(config, seed)
+    runs = [run_chaos_schedule(config, seed, lock_sanitizer=lock_sanitizer)
             for seed in range(config.schedules)]
     failed = [run["seed"] for run in runs if not run["ok"]]
     kinds = {kind: sum(sum(1 for event in run["events"]
@@ -212,6 +254,9 @@ def run_chaos_suite(config: Optional[ChaosConfig] = None) -> Dict:
         "harness": "serve-chaos",
         "seed": int(config.seed),
         "schedules": int(config.schedules),
+        "lock_sanitizer": bool(lock_sanitizer),
+        "lock_order_violations": sum(
+            1 for run in runs if run.get("lock_order_error")),
         "base_rate_rps": float(config.rate()),
         "event_kinds": kinds,
         "total_submitted": sum(run["submitted"] for run in runs),

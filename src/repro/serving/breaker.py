@@ -35,9 +35,10 @@ under concurrency, not just in the sequential loop.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Optional
+
+from repro.concurrency import tracked_rlock
 
 CLOSED = "closed"
 OPEN = "open"
@@ -59,7 +60,7 @@ class CircuitBreaker:
         self.clock = clock
         # Reentrant: describe() reads the state while a transition path
         # (which already holds the lock) may build a description.
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("breaker")
         self.state = CLOSED
         self.state_since = self.clock()
         self.consecutive_faults = 0

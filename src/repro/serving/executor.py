@@ -46,6 +46,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.concurrency import check_boundary
 from repro.ops.batching import batch_cell
 from repro.serving.errors import MemberFault
 from repro.serving.members import ServingMember
@@ -121,6 +122,10 @@ class MemberExecutor:
         """
         if started is None:
             started = self.clock()
+        # Entering the member fan-out while holding any registered lock
+        # would serialize the ensemble on that lock (and can deadlock
+        # once member tasks take breaker locks of their own).
+        check_boundary("MemberExecutor.run")
         if self._pool is None:
             return self._run_inline(members, x, batch_size, deadline,
                                     started, cell)

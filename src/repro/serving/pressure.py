@@ -42,10 +42,10 @@ level state is guarded by a lock.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.concurrency import tracked_lock
 from repro.serving.members import ServingMember
 
 __all__ = ["PressureConfig", "PressureController"]
@@ -89,7 +89,7 @@ class PressureController:
 
     def __init__(self, config: PressureConfig = None):
         self.config = config or PressureConfig()
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("pressure")
         self._level = 0
         self._above = 0            # consecutive observations >= enter
         self._below = 0            # consecutive observations <= exit

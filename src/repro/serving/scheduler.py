@@ -74,6 +74,7 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 
+from repro.concurrency import check_boundary, tracked_condition
 from repro.serving.errors import Overloaded, QueueFull, ServiceUnavailable
 
 __all__ = ["AdmissionController", "MicroBatcher", "PendingRequest",
@@ -177,7 +178,7 @@ class MicroBatcher:
         self.admission = admission
         self.clock = clock
         self._queue: List[PendingRequest] = []
-        self._cond = threading.Condition()
+        self._cond = tracked_condition("scheduler.cond")
         self._pump: Optional[threading.Thread] = None
         self._running = False
         self._closed = False
@@ -254,13 +255,21 @@ class MicroBatcher:
             take += 1
         batch = self._queue[:take]
         del self._queue[:take]
+        # Counters bump here, not in _dispatch: this is the one site
+        # that still holds the queue lock, so two pumps never interleave
+        # a read-modify-write.
+        if batch:
+            self.batches_formed += 1
+            self.requests_batched += len(batch)
         return batch
 
     def _dispatch(self, batch: List[PendingRequest]) -> None:
         if not batch:
             return
-        self.batches_formed += 1
-        self.requests_batched += len(batch)
+        # The queue lock must be released before process() runs — the
+        # downstream transport/executor path takes its own locks, and a
+        # slow batch must not stall submits.
+        check_boundary("MicroBatcher.process")
         stacked = batch[0].x if len(batch) == 1 else \
             np.concatenate([pending.x for pending in batch], axis=0)
         self.process(stacked, batch)
@@ -304,10 +313,10 @@ class MicroBatcher:
         with self._cond:
             self._closed = True
             self._running = False
+            pump, self._pump = self._pump, None
             self._cond.notify_all()
-        if self._pump is not None:
-            self._pump.join()
-            self._pump = None
+        if pump is not None:
+            pump.join()
         while self.pump_once():
             pass
 

@@ -54,7 +54,6 @@ mid-swap mix.
 from __future__ import annotations
 
 import math
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -67,6 +66,7 @@ from repro.core.serialization import (
     PathLike,
     load_ensemble,
 )
+from repro.concurrency import tracked_lock
 from repro.core.ensemble import Ensemble
 from repro.models.factory import ModelFactory
 from repro.serving.breaker import CircuitBreaker
@@ -204,9 +204,9 @@ class InferenceService:
         # list under this lock (copy-on-write); readers snapshot the list
         # once per request, so an in-flight prediction sees either the
         # full old roster or the full new one, never a torn mix.
-        self._swap_lock = threading.Lock()
+        self._swap_lock = tracked_lock("service.swap")
         # Request counters are bumped from executor/transport threads too.
-        self._stats_lock = threading.Lock()
+        self._stats_lock = tracked_lock("service.stats")
         self._member_swaps = 0
         #: Optional drift monitor (duck-typed: anything with
         #: ``alarm_summary() -> Dict[str, bool]``); surfaced in health().

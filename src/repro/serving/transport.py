@@ -79,6 +79,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.concurrency import tracked_lock
 from repro.serving.errors import (
     InvalidRequest,
     Overloaded,
@@ -214,7 +215,7 @@ class ServingPipeline:
                 admission=admission,
                 clock=self.clock)
         # The conservation ledger; counters cross thread boundaries.
-        self._stats_lock = threading.Lock()
+        self._stats_lock = tracked_lock("transport.stats")
         self._submitted = 0
         self._admitted = 0
         self._shed = 0

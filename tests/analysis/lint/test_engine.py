@@ -73,8 +73,8 @@ class TestReport:
         report = lint_tree({"core/mod.py": TestSuppressions.BAD},
                            default_rules())
         stats = report.stats()
-        assert stats["rules_run"] == ["RL001", "RL002", "RL003",
-                                      "RL004", "RL005"]
+        assert stats["rules_run"] == ["RL001", "RL002", "RL003", "RL004",
+                                      "RL005", "RL006", "RL007", "RL008"]
         assert stats["files_scanned"] == 1
         assert stats["violations_total"] == 1
         assert stats["violations_by_code"] == {"RL003": 1}
@@ -134,5 +134,57 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                     "RL006", "RL007", "RL008"):
             assert code in out
+
+    def test_format_json_findings(self, tmp_path, capsys):
+        root = self._write_bad(tmp_path)
+        assert main(["lint", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        (finding,) = payload["violations"]
+        assert finding["code"] == "RL003"
+        assert finding["path"].endswith("mod.py")
+        assert finding["line"] == 2 and "message" in finding
+        assert payload["stats"]["violations_total"] == 1
+
+
+class TestUnusedSuppressionAudit:
+    def test_stale_suppression_fails_the_run(self, lint_tree):
+        source = "x = 1  # repro-lint: disable=RL003 (stale)\n"
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert not report.ok and not report.violations
+        (unused,) = report.unused
+        assert unused.codes == ("RL003",) and unused.line == 1
+        assert "unused suppression" in report.render()
+        (entry,) = report.stats()["unused_suppressions"]
+        assert entry["codes"] == ["RL003"]
+
+    def test_live_suppression_is_not_flagged(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "x = np.zeros(3)  # repro-lint: disable=RL003 (fixture)\n")
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok and not report.unused
+
+    def test_codes_outside_the_run_do_not_count(self, lint_tree):
+        # An RL001 suppression is unjudgeable when only RL003 ran.
+        source = "x = 1  # repro-lint: disable=RL001 (other rule)\n"
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert report.ok and not report.unused
+
+    def test_stale_file_wide_suppression_flagged(self, lint_tree):
+        source = "# repro-lint: disable-file=RL003\nx = 1\n"
+        report = lint_tree({"core/mod.py": source}, [DtypePolicyRule()])
+        assert not report.ok
+        (unused,) = report.unused
+        assert unused.codes == ("RL003",)
+
+    def test_mixed_entry_reports_only_dead_codes(self, lint_tree):
+        source = ("import numpy as np\n"
+                  "x = np.zeros(3)  # repro-lint: disable=RL001,RL003\n")
+        report = lint_tree({"core/mod.py": source}, default_rules())
+        # RL003 fired (used); RL001 ran and silenced nothing — dead.
+        assert not report.ok
+        (unused,) = report.unused
+        assert unused.codes == ("RL001",)

@@ -1,0 +1,211 @@
+"""The runtime lock-order sanitizer: tracked locks, mode, boundaries."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    LOCKS,
+    LockOrderError,
+    TrackedLock,
+    check_boundary,
+    held_locks,
+    lock_order,
+    lock_order_enabled,
+    lock_order_mode,
+    tracked_condition,
+    tracked_lock,
+    tracked_rlock,
+)
+
+
+class TestModel:
+    def test_declared_order_is_strictly_ranked(self):
+        names = lock_order()
+        ranks = [LOCKS[name].rank for name in names]
+        assert ranks == sorted(ranks) and len(set(ranks)) == len(ranks)
+
+    def test_every_serving_lock_is_registered(self):
+        assert {"service.swap", "service.stats", "transport.stats",
+                "scheduler.cond", "breaker", "pressure"} == set(LOCKS)
+
+
+class TestFactories:
+    def test_raw_primitives_outside_the_mode(self):
+        assert not lock_order_enabled()
+        assert isinstance(tracked_lock("service.swap"), type(threading.Lock()))
+        assert isinstance(tracked_condition("scheduler.cond"),
+                          threading.Condition)
+        # RLock has no public class; behaviourally reentrant is enough.
+        rlock = tracked_rlock("breaker")
+        with rlock:
+            assert rlock.acquire(blocking=False)
+            rlock.release()
+
+    def test_proxies_inside_the_mode(self):
+        with lock_order_mode():
+            assert lock_order_enabled()
+            assert isinstance(tracked_lock("service.swap"), TrackedLock)
+            cond = tracked_condition("scheduler.cond")
+            assert isinstance(cond._lock, TrackedLock)
+        assert not lock_order_enabled()
+
+    def test_unregistered_name_rejected(self):
+        with pytest.raises(ValueError, match="unregistered lock name"):
+            tracked_lock("nope")
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching factory"):
+            tracked_lock("breaker")          # registered as an RLock
+        with pytest.raises(ValueError, match="matching factory"):
+            tracked_condition("pressure")    # registered as a plain lock
+
+    def test_mode_disabled_flag_is_a_noop(self):
+        with lock_order_mode(enabled=False):
+            assert not lock_order_enabled()
+
+
+class TestOrderChecking:
+    def test_declared_order_acquires_cleanly(self):
+        with lock_order_mode():
+            outer = tracked_lock("service.swap")
+            inner = tracked_lock("service.stats")
+            with outer:
+                with inner:
+                    assert held_locks() == ["service.swap", "service.stats"]
+            assert held_locks() == []
+
+    def test_inverted_order_raises_naming_both_locks_and_thread(self):
+        with lock_order_mode():
+            outer = tracked_lock("service.swap")
+            inner = tracked_lock("service.stats")
+            with inner:
+                with pytest.raises(LockOrderError) as excinfo:
+                    outer.acquire()
+            violation = excinfo.value
+            assert violation.acquiring == "service.swap"
+            assert violation.holding == ["service.stats"]
+            assert violation.thread == threading.current_thread().name
+            text = str(violation)
+            assert "service.swap" in text and "service.stats" in text
+            assert threading.current_thread().name in text
+
+    def test_conflicting_fixture_pair_deadlock_free(self):
+        """Two threads lock in opposite orders: no deadlock, one error."""
+        with lock_order_mode():
+            swap = tracked_lock("service.swap")
+            stats = tracked_lock("service.stats")
+            errors = []
+            hold = threading.Event()
+            release = threading.Event()
+
+            def forward():
+                with swap:
+                    hold.set()
+                    release.wait(timeout=5)
+                    with stats:
+                        pass
+
+            def backward():
+                hold.wait(timeout=5)
+                with stats:
+                    try:
+                        swap.acquire()
+                    except LockOrderError as error:
+                        errors.append(error)
+                    finally:
+                        release.set()
+
+            threads = [threading.Thread(target=forward),
+                       threading.Thread(target=backward)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not any(thread.is_alive() for thread in threads)
+            (error,) = errors
+            assert error.acquiring == "service.swap"
+            assert error.holding == ["service.stats"]
+
+    def test_same_rank_instances_may_not_nest(self):
+        with lock_order_mode():
+            one = tracked_rlock("breaker")
+            other = tracked_rlock("breaker")
+            with one:
+                with pytest.raises(LockOrderError):
+                    other.acquire()
+
+    def test_reentrant_reacquire_is_fine(self):
+        with lock_order_mode():
+            breaker = tracked_rlock("breaker")
+            with breaker:
+                with breaker:
+                    assert held_locks() == ["breaker", "breaker"]
+            assert held_locks() == []
+
+    def test_self_deadlock_detected_immediately(self):
+        with lock_order_mode():
+            lock = tracked_lock("pressure")
+            lock.acquire()
+            try:
+                with pytest.raises(LockOrderError, match="self-deadlock"):
+                    lock.acquire()          # would hang forever untracked
+            finally:
+                lock.release()
+
+    def test_nonblocking_probe_of_held_lock_declines_quietly(self):
+        # Condition._is_owned probes with acquire(False); must not raise.
+        with lock_order_mode():
+            lock = tracked_lock("pressure")
+            with lock:
+                assert lock.acquire(blocking=False) is False
+
+
+class TestConditionIntegration:
+    def test_wait_releases_the_held_set(self):
+        with lock_order_mode():
+            cond = tracked_condition("scheduler.cond")
+            seen = {}
+
+            def producer():
+                with cond:
+                    seen["producer_held"] = held_locks()
+                    cond.notify()
+
+            with cond:
+                assert held_locks() == ["scheduler.cond"]
+                threading.Thread(target=producer).start()
+                assert cond.wait(timeout=5)
+                # Re-acquired on wake: the held set is restored.
+                assert held_locks() == ["scheduler.cond"]
+            assert held_locks() == []
+            assert seen["producer_held"] == ["scheduler.cond"]
+
+    def test_condition_over_lower_rank_lock_checks_order(self):
+        with lock_order_mode():
+            cond = tracked_condition("scheduler.cond")   # rank 60, innermost
+            swap = tracked_lock("service.swap")
+            with cond:
+                with pytest.raises(LockOrderError):
+                    swap.acquire()
+
+
+class TestBoundary:
+    def test_clean_boundary_passes(self):
+        with lock_order_mode():
+            check_boundary("MicroBatcher.process")
+
+    def test_lock_held_across_boundary_raises(self):
+        with lock_order_mode():
+            lock = tracked_lock("transport.stats")
+            with lock:
+                with pytest.raises(LockOrderError) as excinfo:
+                    check_boundary("MemberExecutor.run")
+            assert excinfo.value.acquiring is None
+            assert excinfo.value.holding == ["transport.stats"]
+            assert "MemberExecutor.run" in str(excinfo.value)
+
+    def test_boundary_free_outside_the_mode(self):
+        check_boundary("MicroBatcher.process")   # no-op, never raises
